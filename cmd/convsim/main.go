@@ -1,0 +1,103 @@
+// Command convsim runs a single convergence experiment and prints its
+// measurements: drops by cause, convergence times, and the per-second
+// throughput/delay series around the failure.
+//
+// Usage:
+//
+//	convsim [-protocol dbf] [-degree 4] [-rows 7] [-cols 7] [-trials 10]
+//	        [-seed 1] [-flows 1] [-rate 20]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"routeconv"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "convsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("convsim", flag.ContinueOnError)
+	var (
+		protoName = fs.String("protocol", "dbf", "routing protocol: rip, dbf, bgp, bgp3, ls")
+		degree    = fs.Int("degree", 4, "mesh node degree (3-16)")
+		rows      = fs.Int("rows", 7, "mesh rows")
+		cols      = fs.Int("cols", 7, "mesh columns")
+		trials    = fs.Int("trials", 10, "independent trials")
+		seed      = fs.Int64("seed", 1, "base random seed")
+		flows     = fs.Int("flows", 1, "concurrent sender/receiver pairs")
+		rate      = fs.Int("rate", 20, "packets per second per flow")
+		detail    = fs.Bool("detail", false, "print per-trial detail")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	proto, err := routeconv.ParseProtocol(*protoName)
+	if err != nil {
+		return err
+	}
+	cfg := routeconv.DefaultConfig()
+	cfg.Protocol = proto
+	cfg.Degree = *degree
+	cfg.Rows, cfg.Cols = *rows, *cols
+	cfg.Trials = *trials
+	cfg.Seed = *seed
+	cfg.Flows = *flows
+	cfg.PacketInterval = time.Second / time.Duration(*rate)
+
+	res, err := routeconv.Run(cfg)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("protocol=%s degree=%d mesh=%dx%d trials=%d flows=%d rate=%d pps\n",
+		proto, *degree, *rows, *cols, *trials, *flows, *rate)
+	fmt.Printf("failure at %v on the flow's forwarding path; run ends at %v\n\n", cfg.FailAt, cfg.End)
+	fmt.Printf("warmed-up trials:            %d/%d\n", res.WarmedUpTrials, *trials)
+	fmt.Printf("mean drops (no route):       %.1f\n", res.MeanNoRouteDrops)
+	fmt.Printf("mean drops (TTL expired):    %.1f\n", res.MeanTTLDrops)
+	fmt.Printf("mean drops (onto dead link): %.1f\n", res.MeanLinkDrops)
+	fmt.Printf("mean drops (queue overflow): %.1f\n", res.MeanQueueDrops)
+	fmt.Printf("forwarding convergence:      %.2f s\n", res.MeanFwdConv)
+	fmt.Printf("routing convergence:         %.2f s\n", res.MeanRoutingConv)
+	fmt.Printf("transient forwarding paths:  %.1f\n", res.MeanTransientPath)
+	fmt.Printf("delivery ratio:              %.4f\n", res.DeliveryRatio)
+
+	if *detail {
+		fmt.Println()
+		for i, tr := range res.Trials {
+			fmt.Printf("trial %2d: sender@%d receiver@%d failed=%d-%d warmed=%v drops(noroute=%d ttl=%d link=%d queue=%d) fwd=%.2fs routing=%.2fs\n",
+				i, tr.SenderRouter, tr.ReceiverRouter, tr.FailedLink.A, tr.FailedLink.B, tr.WarmedUp,
+				tr.NoRouteDrops, tr.TTLDrops, tr.LinkFailureDrops, tr.QueueDrops,
+				tr.ForwardingConvergence.Seconds(), tr.RoutingConvergence.Seconds())
+		}
+	}
+
+	// Print the throughput/delay window around the failure.
+	failBin := int((cfg.FailAt - cfg.SenderStart) / time.Second)
+	lo, hi := failBin-5, failBin+45
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(res.MeanThroughput) {
+		hi = len(res.MeanThroughput)
+	}
+	fmt.Printf("\ninstantaneous throughput and delay (t in seconds since sender start; failure at t=%d):\n", failBin)
+	fmt.Printf("%6s  %12s  %10s\n", "t_s", "pps", "delay_s")
+	for bin := lo; bin < hi; bin++ {
+		delay := "-"
+		if d := res.MeanDelay[bin]; d == d { // not NaN
+			delay = fmt.Sprintf("%.4f", d)
+		}
+		fmt.Printf("%6d  %12.1f  %10s\n", bin, res.MeanThroughput[bin], delay)
+	}
+	return nil
+}

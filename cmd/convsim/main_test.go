@@ -1,0 +1,34 @@
+package main
+
+import "testing"
+
+func TestRunMinimal(t *testing.T) {
+	err := run([]string{"-protocol", "dbf", "-trials", "1", "-detail"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunLinkState(t *testing.T) {
+	if err := run([]string{"-protocol", "ls", "-trials", "1", "-rate", "10"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadProtocol(t *testing.T) {
+	if err := run([]string{"-protocol", "ospf"}); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+}
+
+func TestRunRejectsBadDegree(t *testing.T) {
+	if err := run([]string{"-degree", "2"}); err == nil {
+		t.Error("degree 2 accepted")
+	}
+}
+
+func TestRunMultiFlow(t *testing.T) {
+	if err := run([]string{"-protocol", "dbf", "-trials", "1", "-flows", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}

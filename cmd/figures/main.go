@@ -1,0 +1,209 @@
+// Command figures regenerates every table and figure of the paper's
+// evaluation (Figures 3–7 of Pei et al., DSN 2003) and writes them as
+// aligned text and CSV files.
+//
+// Usage:
+//
+//	figures [-trials N] [-degrees 3-16] [-protocols rip,dbf,bgp,bgp3]
+//	        [-series-degrees 3,4,5,6] [-seed S] [-out DIR]
+//
+// A full paper-scale run is `figures -trials 100`; the defaults trade
+// trial count for wall-clock time while preserving every qualitative
+// result.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"routeconv"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
+	var (
+		trials        = fs.Int("trials", 20, "trials per (protocol, degree) cell (paper: 100)")
+		degreesFlag   = fs.String("degrees", "3-10", "node degrees to sweep, e.g. 3-16 or 3,4,5,6")
+		protocolsFlag = fs.String("protocols", "rip,dbf,bgp,bgp3", "comma-separated protocols")
+		seriesFlag    = fs.String("series-degrees", "3,4,5,6", "degrees for the Figure 5/7 time series")
+		seed          = fs.Int64("seed", 1, "base random seed")
+		outDir        = fs.String("out", "results", "output directory")
+		report        = fs.String("report", "", "also write a self-contained markdown report to this path")
+		quiet         = fs.Bool("q", false, "suppress progress output")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	degrees, err := parseDegrees(*degreesFlag)
+	if err != nil {
+		return err
+	}
+	seriesDegrees, err := parseDegrees(*seriesFlag)
+	if err != nil {
+		return err
+	}
+	var protocols []routeconv.ProtocolKind
+	for _, name := range strings.Split(*protocolsFlag, ",") {
+		p, err := routeconv.ParseProtocol(strings.TrimSpace(name))
+		if err != nil {
+			return err
+		}
+		protocols = append(protocols, p)
+	}
+
+	sc := routeconv.DefaultSweep(*trials)
+	sc.Base.Seed = *seed
+	sc.Degrees = degrees
+	sc.Protocols = protocols
+
+	progress := func(line string) { fmt.Fprintln(os.Stderr, line) }
+	if *quiet {
+		progress = nil
+	}
+	sr, err := routeconv.RunSweep(sc, progress)
+	if err != nil {
+		return err
+	}
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		return err
+	}
+	outputs := []struct {
+		name  string
+		table *routeconv.Table
+	}{
+		{"fig3_drops_no_route", sr.Figure3Table()},
+		{"fig4_ttl_expirations", sr.Figure4Table()},
+		{"fig6a_forwarding_convergence", sr.Figure6aTable()},
+		{"fig6b_routing_convergence", sr.Figure6bTable()},
+		{"summary", sr.SummaryTable()},
+	}
+	for _, d := range seriesDegrees {
+		if !containsInt(degrees, d) {
+			continue
+		}
+		outputs = append(outputs,
+			struct {
+				name  string
+				table *routeconv.Table
+			}{fmt.Sprintf("fig5_throughput_deg%d", d), sr.Figure5Table(d)},
+			struct {
+				name  string
+				table *routeconv.Table
+			}{fmt.Sprintf("fig7_delay_deg%d", d), sr.Figure7Table(d)},
+		)
+	}
+	for _, o := range outputs {
+		if err := writeTable(o.table, filepath.Join(*outDir, o.name)); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s.{txt,csv}\n", filepath.Join(*outDir, o.name))
+	}
+	for _, d := range seriesDegrees {
+		if !containsInt(degrees, d) {
+			continue
+		}
+		path := filepath.Join(*outDir, fmt.Sprintf("fig5_fig7_deg%d.plot.txt", d))
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := sr.Figure5Plot(d).Write(f); err != nil {
+			f.Close()
+			return err
+		}
+		if _, err := fmt.Fprintln(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := sr.Figure7Plot(d).Write(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+	if *report != "" {
+		f, err := os.Create(*report)
+		if err != nil {
+			return err
+		}
+		if err := sr.WriteReport(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *report)
+	}
+	return nil
+}
+
+// parseDegrees accepts "3-8" or "3,4,5" (or a mix like "3-5,8").
+func parseDegrees(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if lo, hi, ok := strings.Cut(part, "-"); ok {
+			a, err1 := strconv.Atoi(lo)
+			b, err2 := strconv.Atoi(hi)
+			if err1 != nil || err2 != nil || a > b {
+				return nil, fmt.Errorf("bad degree range %q", part)
+			}
+			for d := a; d <= b; d++ {
+				out = append(out, d)
+			}
+			continue
+		}
+		d, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad degree %q", part)
+		}
+		out = append(out, d)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no degrees in %q", s)
+	}
+	return out, nil
+}
+
+func containsInt(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func writeTable(t *routeconv.Table, base string) error {
+	txt, err := os.Create(base + ".txt")
+	if err != nil {
+		return err
+	}
+	defer txt.Close()
+	if err := t.WriteText(txt); err != nil {
+		return err
+	}
+	csv, err := os.Create(base + ".csv")
+	if err != nil {
+		return err
+	}
+	defer csv.Close()
+	return t.WriteCSV(csv)
+}

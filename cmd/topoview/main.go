@@ -1,0 +1,95 @@
+// Command topoview inspects the Baran-style regular mesh topologies of the
+// study: node/edge counts, degree histogram, diameter, and an adjacency
+// dump — the data behind the paper's Figure 2.
+//
+// Usage:
+//
+//	topoview [-rows 7] [-cols 7] [-degree 4] [-edges] [-sweep]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"routeconv/internal/topology"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "topoview:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("topoview", flag.ContinueOnError)
+	var (
+		rows      = fs.Int("rows", 7, "mesh rows")
+		cols      = fs.Int("cols", 7, "mesh columns")
+		degree    = fs.Int("degree", 4, "target interior node degree (3-16)")
+		showEdges = fs.Bool("edges", false, "dump the edge list")
+		sweep     = fs.Bool("sweep", false, "print one summary line per degree 3-16")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *sweep {
+		fmt.Printf("%6s  %6s  %6s  %9s  %8s\n", "degree", "nodes", "edges", "diameter", "avgpath")
+		for d := 3; d <= topology.MaxMeshDegree && d <= 16; d++ {
+			m, err := topology.NewMesh(*rows, *cols, d)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%6d  %6d  %6d  %9d  %8.2f\n", d, m.Len(), m.NumEdges(), m.Diameter(), avgPathLength(m.Graph))
+		}
+		return nil
+	}
+
+	m, err := topology.NewMesh(*rows, *cols, *degree)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("mesh %dx%d, target degree %d\n", *rows, *cols, *degree)
+	fmt.Printf("nodes: %d  edges: %d  connected: %v  diameter: %d  avg shortest path: %.2f\n",
+		m.Len(), m.NumEdges(), m.Connected(), m.Diameter(), avgPathLength(m.Graph))
+
+	hist := m.DegreeHistogram()
+	degrees := make([]int, 0, len(hist))
+	for d := range hist {
+		degrees = append(degrees, d)
+	}
+	sort.Ints(degrees)
+	fmt.Println("degree histogram (border nodes have fewer links):")
+	for _, d := range degrees {
+		fmt.Printf("  degree %2d: %d nodes\n", d, hist[d])
+	}
+
+	if *showEdges {
+		fmt.Println("edges:")
+		for _, e := range m.Edges() {
+			ra, ca := m.Pos(e.A)
+			rb, cb := m.Pos(e.B)
+			fmt.Printf("  %d (%d,%d) - %d (%d,%d)\n", e.A, ra, ca, e.B, rb, cb)
+		}
+	}
+	return nil
+}
+
+// avgPathLength returns the mean shortest-path length over all node pairs.
+func avgPathLength(g *topology.Graph) float64 {
+	total, pairs := 0, 0
+	for i := 0; i < g.Len(); i++ {
+		for _, d := range g.BFS(topology.NodeID(i)) {
+			if d > 0 {
+				total += d
+				pairs++
+			}
+		}
+	}
+	if pairs == 0 {
+		return 0
+	}
+	return float64(total) / float64(pairs)
+}

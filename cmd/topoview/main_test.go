@@ -1,0 +1,35 @@
+package main
+
+import "testing"
+
+func TestRunDefault(t *testing.T) {
+	if err := run(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSweep(t *testing.T) {
+	if err := run([]string{"-sweep", "-rows", "6", "-cols", "6"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunEdges(t *testing.T) {
+	if err := run([]string{"-rows", "3", "-cols", "3", "-degree", "4", "-edges"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadDegree(t *testing.T) {
+	if err := run([]string{"-degree", "99"}); err == nil {
+		t.Error("degree 99 accepted")
+	}
+}
+
+func TestAvgPathLength(t *testing.T) {
+	if err := run([]string{"-rows", "2", "-cols", "2", "-degree", "3"}); err != nil {
+		// A 2×2 lattice cannot realize degree 3 everywhere but must not
+		// crash; an error is acceptable, a panic is not.
+		t.Logf("run returned %v", err)
+	}
+}

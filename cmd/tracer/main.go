@@ -1,0 +1,153 @@
+// Command tracer replays one trial of an experiment and prints its routing
+// and forwarding timeline around the failure — the kind of trace-file
+// analysis the paper used to explain transient loops (§5.2).
+//
+// Usage:
+//
+//	tracer [-protocol bgp] [-degree 5] [-trial 0] [-seed 1] [-window 60s]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"routeconv/internal/core"
+	"routeconv/internal/netsim"
+	"routeconv/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tracer:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("tracer", flag.ContinueOnError)
+	var (
+		protoName = fs.String("protocol", "bgp", "routing protocol: rip, dbf, bgp, bgp3, ls")
+		degree    = fs.Int("degree", 5, "mesh node degree")
+		trial     = fs.Int("trial", 0, "which trial of the experiment to replay")
+		seed      = fs.Int64("seed", 1, "base random seed")
+		window    = fs.Duration("window", 60*time.Second, "how long after the failure to print events")
+		allDsts   = fs.Bool("all-destinations", false, "print route changes for every destination, not just the flow's")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	proto, err := core.ParseProtocol(*protoName)
+	if err != nil {
+		return err
+	}
+	cfg := core.DefaultConfig()
+	cfg.Protocol = proto
+	cfg.Degree = *degree
+	cfg.Seed = *seed
+	cfg.Trials = *trial + 1
+	cfg.Net.RecordHops = true
+
+	tr, col, err := core.Trace(cfg, *trial)
+	if err != nil {
+		return err
+	}
+
+	rel := func(at time.Duration) string {
+		return fmt.Sprintf("%+9.3fs", (at - cfg.FailAt).Seconds())
+	}
+
+	fmt.Printf("trial %d of %s at degree %d (seed %d)\n", *trial, proto, *degree, tr.Seed)
+	fmt.Printf("flow: host→router %d ... router %d→host; failed link %d-%d at t=%v\n",
+		tr.SenderRouter, tr.ReceiverRouter, tr.FailedLink.A, tr.FailedLink.B, cfg.FailAt)
+	fmt.Printf("outcome: delivered %d/%d, drops noroute=%d ttl=%d linkfail=%d queue=%d, loop escapes=%d\n",
+		tr.Delivered, tr.Sent, tr.NoRouteDrops, tr.TTLDrops, tr.LinkFailureDrops, tr.QueueDrops, tr.LoopEscapes)
+	fmt.Printf("convergence: forwarding %.3fs, routing %.3fs, %d transient paths\n\n",
+		tr.ForwardingConvergence.Seconds(), tr.RoutingConvergence.Seconds(), tr.TransientPaths)
+
+	from, to := cfg.FailAt-5*time.Second, cfg.FailAt+*window
+
+	fmt.Println("forwarding path timeline (times relative to the failure):")
+	for _, ps := range col.PathHistory {
+		if ps.At < from || ps.At > to {
+			continue
+		}
+		state := "BROKEN"
+		if ps.OK {
+			state = fmt.Sprintf("ok, %d hops", len(ps.Path)-1)
+		}
+		fmt.Printf("  %s  %-12s %s\n", rel(ps.At), state, pathString(ps.Path))
+	}
+
+	_, dst := col.Flow()
+	fmt.Println("\nroute changes (node → destination):")
+	count := 0
+	for _, rc := range col.RouteChanges {
+		if rc.At < from || rc.At > to {
+			continue
+		}
+		if !*allDsts && rc.Dst != dst {
+			continue
+		}
+		count++
+		if count > 200 {
+			fmt.Println("  ... (truncated at 200 events)")
+			break
+		}
+		if rc.Removed {
+			fmt.Printf("  %s  node %-3d lost route to %d\n", rel(rc.At), rc.Node, rc.Dst)
+		} else {
+			fmt.Printf("  %s  node %-3d routes %d via %d\n", rel(rc.At), rc.Node, rc.Dst, rc.NextHop)
+		}
+	}
+
+	fmt.Println("\ndrop timeline (packets per second after the failure, by cause):")
+	printDropBins(col.Drops, cfg.FailAt, to)
+	return nil
+}
+
+// printDropBins renders per-second drop counts by cause over [failAt, to].
+func printDropBins(drops []trace.Drop, failAt, to time.Duration) {
+	type binKey struct {
+		bin    int
+		reason netsim.DropReason
+	}
+	bins := make(map[binKey]int)
+	maxBin := 0
+	for _, d := range drops {
+		if d.Control || d.At < failAt || d.At > to {
+			continue
+		}
+		bin := int((d.At - failAt) / time.Second)
+		bins[binKey{bin, d.Reason}]++
+		if bin > maxBin {
+			maxBin = bin
+		}
+	}
+	if len(bins) == 0 {
+		fmt.Println("  (no data drops in the window)")
+		return
+	}
+	reasons := []netsim.DropReason{netsim.DropNoRoute, netsim.DropTTLExpired, netsim.DropQueueOverflow, netsim.DropLinkFailure}
+	for bin := 0; bin <= maxBin; bin++ {
+		var parts []string
+		for _, r := range reasons {
+			if n := bins[binKey{bin, r}]; n > 0 {
+				parts = append(parts, fmt.Sprintf("%s×%d", r, n))
+			}
+		}
+		if len(parts) > 0 {
+			fmt.Printf("  +%3ds  %s\n", bin, strings.Join(parts, "  "))
+		}
+	}
+}
+
+func pathString(path []netsim.NodeID) string {
+	parts := make([]string, len(path))
+	for i, n := range path {
+		parts[i] = fmt.Sprint(n)
+	}
+	return strings.Join(parts, "→")
+}

@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestRunReplay(t *testing.T) {
+	if err := run([]string{"-protocol", "dbf", "-degree", "4", "-window", "30s"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAllDestinations(t *testing.T) {
+	if err := run([]string{"-protocol", "ls", "-degree", "6", "-all-destinations"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadProtocol(t *testing.T) {
+	if err := run([]string{"-protocol", "nonesuch"}); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+}
+
+func TestRunRejectsBadTrial(t *testing.T) {
+	if err := run([]string{"-trial", "-1"}); err == nil {
+		t.Error("negative trial accepted")
+	}
+}

@@ -1,0 +1,44 @@
+// Degreesweep reproduces the paper's central topology result
+// (Observation 1): as network connectivity grows, packet delivery during
+// convergence improves for every protocol that keeps alternate-path state —
+// while RIP, which keeps none, barely improves at all.
+//
+// It sweeps the mesh node degree from 3 to 8 for RIP and DBF and prints
+// the mean no-route drop counts and delivery ratios.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"routeconv"
+)
+
+func main() {
+	sc := routeconv.DefaultSweep(10)
+	sc.Degrees = []int{3, 4, 5, 6, 7, 8}
+	sc.Protocols = []routeconv.ProtocolKind{routeconv.ProtoRIP, routeconv.ProtoDBF}
+
+	fmt.Fprintln(os.Stderr, "running 2 protocols × 6 degrees × 10 trials...")
+	sr, err := routeconv.RunSweep(sc, func(line string) { fmt.Fprintln(os.Stderr, "  "+line) })
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Mean packet drops due to no route vs node degree (paper, Figure 3):")
+	if err := sr.Figure3Table().WriteText(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nPer-cell summary (drops by cause, convergence, control cost):")
+	if err := sr.SummaryTable().WriteText(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nWhat to look for:")
+	fmt.Println("  - DBF's drops fall toward zero by degree 6: with enough redundancy some")
+	fmt.Println("    neighbor always holds a valid cached alternate (paper §5.1).")
+	fmt.Println("  - RIP improves only slightly: it must wait for a periodic update no matter")
+	fmt.Println("    how well-connected the mesh is.")
+}

@@ -1,0 +1,45 @@
+// Protocolcompare reproduces the paper's headline comparison (§1): with
+// the same topology and the same packet rate, routing protocol design
+// alone changes packet loss during convergence by an order of magnitude —
+// RIP drops hundreds of packets where BGP3 drops fewer than fifty.
+//
+// The run compares all four protocols at two connectivity levels (degree 4
+// and degree 6) and prints the drop counts, convergence times, and control
+// overhead side by side.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"routeconv"
+)
+
+func main() {
+	sc := routeconv.DefaultSweep(10)
+	sc.Degrees = []int{4, 6}
+
+	fmt.Fprintln(os.Stderr, "running 4 protocols × 2 degrees × 10 trials...")
+	sr, err := routeconv.RunSweep(sc, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Packet drops due to no route (paper, Figure 3):")
+	if err := sr.Figure3Table().WriteText(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nTTL expirations — transient loops (paper, Figure 4):")
+	if err := sr.Figure4Table().WriteText(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nForwarding path convergence time, seconds (paper, Figure 6a):")
+	if err := sr.Figure6aTable().WriteText(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nWhat to look for:")
+	fmt.Println("  - RIP keeps no alternate paths: it drops by far the most packets at both degrees.")
+	fmt.Println("  - DBF and BGP3 lose almost nothing once the degree reaches 6 (Observation 1).")
+	fmt.Println("  - BGP's 30 s MRAI stretches its convergence well beyond BGP3's (Observation 4).")
+}

@@ -1,0 +1,3 @@
+module routeconv
+
+go 1.22

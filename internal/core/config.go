@@ -1,0 +1,275 @@
+// Package core is the study harness — the paper's primary contribution. It
+// assembles a mesh topology with stub sender/receiver routers, attaches one
+// of the routing protocols to every node, injects a link failure on the
+// flow's forwarding path, and measures packet delivery and convergence:
+// the quantities behind Figures 3–7 of the paper.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"routeconv/internal/netsim"
+	"routeconv/internal/routing"
+	"routeconv/internal/routing/bgp"
+	"routeconv/internal/routing/dbf"
+	"routeconv/internal/routing/ls"
+	"routeconv/internal/routing/rip"
+	"routeconv/internal/topology"
+)
+
+// TrafficPattern selects the flow's packet arrival process.
+type TrafficPattern int
+
+// Traffic patterns. The paper uses constant bit rate only; the others are
+// workload-sensitivity extensions.
+const (
+	// TrafficCBR sends a packet every PacketInterval (the paper's §5
+	// workload). It is the zero value's meaning.
+	TrafficCBR TrafficPattern = iota
+	// TrafficPoisson sends with exponential inter-arrival times of mean
+	// PacketInterval.
+	TrafficPoisson
+	// TrafficOnOff alternates exponential ON bursts (packets every
+	// PacketInterval) with exponential OFF silences.
+	TrafficOnOff
+)
+
+// String implements fmt.Stringer.
+func (p TrafficPattern) String() string {
+	switch p {
+	case TrafficCBR:
+		return "cbr"
+	case TrafficPoisson:
+		return "poisson"
+	case TrafficOnOff:
+		return "onoff"
+	default:
+		return fmt.Sprintf("TrafficPattern(%d)", int(p))
+	}
+}
+
+// ProtocolKind selects the routing protocol under study.
+type ProtocolKind int
+
+// The protocols of the paper's §3 (plus the link-state extension of §6's
+// future work).
+const (
+	// ProtoRIP is RIP (RFC 2453-style distance vector).
+	ProtoRIP ProtocolKind = iota + 1
+	// ProtoDBF is the Distributed Bellman-Ford variant with per-neighbor
+	// vector caches.
+	ProtoDBF
+	// ProtoBGP is path-vector BGP with the standard 30 s MRAI.
+	ProtoBGP
+	// ProtoBGP3 is the paper's specially parameterized BGP with a 3 s MRAI.
+	ProtoBGP3
+	// ProtoLS is a link-state (SPF) protocol — the paper's stated future
+	// work, included as an extension.
+	ProtoLS
+)
+
+// Protocols lists the paper's four protocols in presentation order.
+func Protocols() []ProtocolKind { return []ProtocolKind{ProtoRIP, ProtoDBF, ProtoBGP, ProtoBGP3} }
+
+// String implements fmt.Stringer.
+func (k ProtocolKind) String() string {
+	switch k {
+	case ProtoRIP:
+		return "rip"
+	case ProtoDBF:
+		return "dbf"
+	case ProtoBGP:
+		return "bgp"
+	case ProtoBGP3:
+		return "bgp3"
+	case ProtoLS:
+		return "ls"
+	default:
+		return fmt.Sprintf("ProtocolKind(%d)", int(k))
+	}
+}
+
+// ParseProtocol converts a protocol name as printed by String back to its
+// kind.
+func ParseProtocol(s string) (ProtocolKind, error) {
+	for _, k := range []ProtocolKind{ProtoRIP, ProtoDBF, ProtoBGP, ProtoBGP3, ProtoLS} {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown protocol %q", s)
+}
+
+// Config describes one experiment: a protocol on a mesh of a given degree,
+// with a traffic flow and a failure schedule, repeated over independent
+// trials.
+type Config struct {
+	// Protocol is the routing protocol attached to every router.
+	Protocol ProtocolKind
+	// Rows, Cols, Degree describe the mesh (§5: 7×7, interior degree
+	// 3–16).
+	Rows, Cols, Degree int
+	// Topology, when non-nil, replaces the mesh entirely: the experiment
+	// runs on this graph (e.g. a torus, hypercube, or small-world network)
+	// and Rows/Cols/Degree are ignored. SenderRouters and ReceiverRouters
+	// must then list the routers the stub hosts may attach to.
+	Topology                       *topology.Graph
+	SenderRouters, ReceiverRouters []netsim.NodeID
+	// Trials is the number of independent runs to aggregate (paper: 100).
+	Trials int
+	// Seed makes the whole experiment reproducible; trial i uses a seed
+	// derived from Seed and i.
+	Seed int64
+	// SenderStart is when the constant-rate flow begins (paper: 390 s).
+	SenderStart time.Duration
+	// FailAt is when one link on the flow's forwarding path fails
+	// (paper: 400 s).
+	FailAt time.Duration
+	// End is the end of the simulation (paper: 800 s).
+	End time.Duration
+	// PacketInterval spaces the flow's packets (paper: 20 pkt/s → 50 ms).
+	// For TrafficPoisson it is the mean inter-arrival time; for TrafficOnOff
+	// it is the in-burst spacing.
+	PacketInterval time.Duration
+	// Traffic selects the flow's arrival process. The zero value means
+	// TrafficCBR (the paper's constant-rate workload).
+	Traffic TrafficPattern
+	// OnMean and OffMean set TrafficOnOff's mean burst and silence
+	// durations; zero values default to one second each.
+	OnMean, OffMean time.Duration
+	// PacketSize is the data packet size in bytes.
+	PacketSize int
+	// TTL is the data packets' initial hop budget (paper: 127).
+	TTL int
+	// Flows is the number of sender/receiver pairs (paper: 1; >1 is the
+	// §6 future-work extension).
+	Flows int
+	// ExtraFailAts schedules additional failures of random live mesh links
+	// (the §6 multiple-failure extension). Empty for the paper's setup.
+	ExtraFailAts []time.Duration
+	// FastReroute precomputes loop-free-alternate protection next hops at
+	// every router (the paper's related work [1], [27]): packets deflect
+	// to the backup the instant the primary's link is down, before any
+	// protocol reaction. An extension; off in the paper's setup.
+	FastReroute bool
+	// RestoreAfter, when positive, restores the primary failed link this
+	// long after each failure (link repair / flap experiments).
+	RestoreAfter time.Duration
+	// Flaps is how many times the primary link fails. 0 or 1 is the
+	// paper's single permanent failure; with RestoreAfter set, cycle i
+	// fails at FailAt + i·2·RestoreAfter. Used by the route-flap-damping
+	// experiments.
+	Flaps int
+	// Net holds the physical link parameters.
+	Net netsim.Config
+	// Vector parameterizes RIP and DBF.
+	Vector routing.VectorConfig
+	// BGP parameterizes ProtoBGP; BGP3 parameterizes ProtoBGP3.
+	BGP, BGP3 bgp.Config
+	// LS parameterizes ProtoLS.
+	LS ls.Config
+	// Factory overrides the protocol constructor entirely when non-nil
+	// (for ablations and custom protocols); Protocol is then only a label.
+	Factory func(*netsim.Node) netsim.Protocol
+}
+
+// DefaultConfig returns the paper's §5 experiment parameters with the DBF
+// protocol selected.
+func DefaultConfig() Config {
+	return Config{
+		Protocol:       ProtoDBF,
+		Rows:           7,
+		Cols:           7,
+		Degree:         4,
+		Trials:         10,
+		Seed:           1,
+		SenderStart:    390 * time.Second,
+		FailAt:         400 * time.Second,
+		End:            800 * time.Second,
+		PacketInterval: 50 * time.Millisecond,
+		PacketSize:     1000,
+		TTL:            127,
+		Flows:          1,
+		Net:            netsim.DefaultConfig(),
+		Vector:         routing.DefaultVectorConfig(),
+		BGP:            bgp.DefaultConfig(),
+		BGP3:           bgp.BGP3Config(),
+		LS:             ls.DefaultConfig(),
+	}
+}
+
+// Validate reports the first problem with the configuration, or nil.
+func (c *Config) Validate() error {
+	switch {
+	case c.Trials < 1:
+		return fmt.Errorf("core: Trials = %d, need ≥ 1", c.Trials)
+	case c.Flows < 1:
+		return fmt.Errorf("core: Flows = %d, need ≥ 1", c.Flows)
+	case c.Topology == nil && (c.Rows < 2 || c.Cols < 2):
+		return fmt.Errorf("core: mesh %d×%d too small", c.Rows, c.Cols)
+	case c.SenderStart > c.FailAt:
+		return fmt.Errorf("core: SenderStart %v after FailAt %v", c.SenderStart, c.FailAt)
+	case c.FailAt >= c.End:
+		return fmt.Errorf("core: FailAt %v not before End %v", c.FailAt, c.End)
+	case c.PacketInterval <= 0:
+		return fmt.Errorf("core: PacketInterval must be positive")
+	case c.Traffic < TrafficCBR || c.Traffic > TrafficOnOff:
+		return fmt.Errorf("core: unknown traffic pattern %d", int(c.Traffic))
+	case c.OnMean < 0 || c.OffMean < 0:
+		return fmt.Errorf("core: OnMean/OffMean must not be negative")
+	case c.TTL < 1:
+		return fmt.Errorf("core: TTL must be ≥ 1")
+	}
+	if c.Factory == nil {
+		if _, err := c.factory(); err != nil {
+			return err
+		}
+	}
+	for _, at := range c.ExtraFailAts {
+		if at >= c.End {
+			return fmt.Errorf("core: extra failure at %v not before End %v", at, c.End)
+		}
+	}
+	if c.Topology != nil {
+		if len(c.SenderRouters) == 0 || len(c.ReceiverRouters) == 0 {
+			return fmt.Errorf("core: custom Topology requires SenderRouters and ReceiverRouters")
+		}
+		for _, id := range append(append([]netsim.NodeID{}, c.SenderRouters...), c.ReceiverRouters...) {
+			if int(id) < 0 || int(id) >= c.Topology.Len() {
+				return fmt.Errorf("core: attachment router %d outside topology (%d nodes)", id, c.Topology.Len())
+			}
+		}
+		if !c.Topology.Connected() {
+			return fmt.Errorf("core: custom Topology is disconnected")
+		}
+	}
+	if c.Flaps > 1 && c.RestoreAfter <= 0 {
+		return fmt.Errorf("core: Flaps = %d requires RestoreAfter > 0", c.Flaps)
+	}
+	if c.RestoreAfter < 0 {
+		return fmt.Errorf("core: RestoreAfter must not be negative")
+	}
+	return nil
+}
+
+// factory resolves the protocol constructor for this configuration.
+func (c *Config) factory() (func(*netsim.Node) netsim.Protocol, error) {
+	if c.Factory != nil {
+		return c.Factory, nil
+	}
+	switch c.Protocol {
+	case ProtoRIP:
+		return rip.Factory(c.Vector), nil
+	case ProtoDBF:
+		return dbf.Factory(c.Vector), nil
+	case ProtoBGP:
+		return bgp.Factory(c.BGP), nil
+	case ProtoBGP3:
+		return bgp.Factory(c.BGP3), nil
+	case ProtoLS:
+		return ls.Factory(c.LS), nil
+	default:
+		return nil, fmt.Errorf("core: unknown protocol kind %d", int(c.Protocol))
+	}
+}

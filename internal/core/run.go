@@ -1,0 +1,532 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"routeconv/internal/netsim"
+	"routeconv/internal/sim"
+	"routeconv/internal/stats"
+	"routeconv/internal/topology"
+	"routeconv/internal/trace"
+)
+
+// seedStride separates per-trial seeds; any large odd constant works.
+const seedStride = 1_000_003
+
+// TrialResult holds the measurements of one simulation run.
+type TrialResult struct {
+	// Seed is the simulator seed used for this trial.
+	Seed int64
+	// SenderRouter and ReceiverRouter are the mesh routers the stub hosts
+	// of the first flow attached to.
+	SenderRouter, ReceiverRouter netsim.NodeID
+	// FailedLink is the on-path link failed at FailAt.
+	FailedLink topology.Edge
+	// WarmedUp reports whether the flow had a working forwarding path at
+	// the failure instant (i.e. warm-up converged).
+	WarmedUp bool
+	// Sent and Delivered count the flow's data packets over the whole run.
+	Sent, Delivered int
+	// NoRouteDrops .. QueueDrops count the flow's data packets lost at or
+	// after the failure, by cause (Figures 3 and 4).
+	NoRouteDrops, TTLDrops, LinkFailureDrops, QueueDrops int
+	// RoutingConvergence is the network routing convergence time (§5.4).
+	RoutingConvergence time.Duration
+	// ForwardingConvergence is the forwarding path convergence delay (§5.4).
+	ForwardingConvergence time.Duration
+	// TransientPaths counts distinct forwarding walks after the failure.
+	TransientPaths int
+	// LoopEscapes counts packets delivered after crossing a transient
+	// forwarding loop (§5.5). Requires Config.Net.RecordHops.
+	LoopEscapes int
+	// Throughput is delivered packets per second, binned from SenderStart
+	// (Figure 5).
+	Throughput []float64
+	// Delay is the mean delivery delay in seconds per bin, NaN where no
+	// packets arrived (Figure 7).
+	Delay []float64
+	// DelayP50, DelayP95 and DelayMax summarize (in seconds) the delays of
+	// packets delivered at or after the failure — Figure 7's loop-escape
+	// spikes show up in the tail.
+	DelayP50, DelayP95, DelayMax float64
+	// ControlMessages and ControlBytes count all routing traffic.
+	ControlMessages, ControlBytes uint64
+}
+
+// Result aggregates an experiment's trials.
+type Result struct {
+	Config Config
+	Trials []TrialResult
+	// Means over trials (Figures 3, 4 and 6).
+	MeanNoRouteDrops  float64
+	MeanTTLDrops      float64
+	MeanLinkDrops     float64
+	MeanQueueDrops    float64
+	MeanRoutingConv   float64 // seconds
+	MeanFwdConv       float64 // seconds
+	MeanTransientPath float64
+	// DeliveryRatio is total delivered over total sent.
+	DeliveryRatio float64
+	// MeanDelayP95 and MeanDelayMax average the trials' post-failure delay
+	// tail statistics (seconds).
+	MeanDelayP95, MeanDelayMax float64
+	// MeanLoopEscapes averages packets delivered out of transient loops
+	// (only populated when Config.Net.RecordHops is set).
+	MeanLoopEscapes float64
+	// MeanThroughput and MeanDelay are per-second series averaged across
+	// trials (Figures 5 and 7).
+	MeanThroughput []float64
+	MeanDelay      []float64
+	// WarmedUpTrials counts trials whose flow was converged at FailAt.
+	WarmedUpTrials int
+}
+
+// Run executes the experiment: cfg.Trials independent simulations in
+// parallel, aggregated into a Result.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	res := &Result{Config: cfg, Trials: make([]TrialResult, cfg.Trials)}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > cfg.Trials {
+		workers = cfg.Trials
+	}
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				tr, _, err := runTrial(&cfg, i)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("trial %d: %w", i, err)
+					}
+					mu.Unlock()
+					continue
+				}
+				res.Trials[i] = tr
+			}
+		}()
+	}
+	for i := 0; i < cfg.Trials; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	res.aggregate()
+	return res, nil
+}
+
+// flow is one sender/receiver pair within a trial.
+type flow struct {
+	srcHost, dstHost     netsim.NodeID
+	srcRouter, dstRouter netsim.NodeID
+	collector            *trace.Collector
+}
+
+// Trace runs a single trial of the experiment and returns both its
+// measurements and the raw event collector (route changes, path history,
+// every delivery and drop) — the paper's §5.2 "analysis of the routing and
+// forwarding trace files". trial selects which of the experiment's seeds
+// to replay; Trace(cfg, i) reproduces trial i of Run(cfg) exactly.
+func Trace(cfg Config, trial int) (TrialResult, *trace.Collector, error) {
+	if err := cfg.Validate(); err != nil {
+		return TrialResult{}, nil, err
+	}
+	if trial < 0 || trial >= cfg.Trials {
+		return TrialResult{}, nil, fmt.Errorf("core: trial %d out of range [0, %d)", trial, cfg.Trials)
+	}
+	return runTrial(&cfg, trial)
+}
+
+// runTrial builds and runs one simulation.
+func runTrial(cfg *Config, trial int) (TrialResult, *trace.Collector, error) {
+	factory, err := cfg.factory()
+	if err != nil {
+		return TrialResult{}, nil, err
+	}
+	seed := cfg.Seed + int64(trial)*seedStride
+	s := sim.New(seed)
+
+	// The router topology: the paper's mesh by default, or a caller-
+	// supplied graph (cloned, because each trial adds its own host nodes).
+	var g *topology.Graph
+	var senderRouters, receiverRouters []netsim.NodeID
+	if cfg.Topology != nil {
+		g = cfg.Topology.Clone()
+		senderRouters, receiverRouters = cfg.SenderRouters, cfg.ReceiverRouters
+	} else {
+		mesh, err := topology.NewMesh(cfg.Rows, cfg.Cols, cfg.Degree)
+		if err != nil {
+			return TrialResult{}, nil, err
+		}
+		g = mesh.Graph
+		senderRouters, receiverRouters = mesh.FirstRow(), mesh.LastRow()
+	}
+	meshEdges := g.Edges() // router links only; host links are added below
+
+	// Attach one stub host pair per flow to random attachment routers.
+	flows := make([]*flow, cfg.Flows)
+	var observers multiObserver
+	for i := range flows {
+		f := &flow{
+			srcRouter: senderRouters[s.Rand().Intn(len(senderRouters))],
+			dstRouter: receiverRouters[s.Rand().Intn(len(receiverRouters))],
+		}
+		f.srcHost = g.AddNode()
+		f.dstHost = g.AddNode()
+		g.AddEdge(f.srcHost, f.srcRouter)
+		g.AddEdge(f.dstHost, f.dstRouter)
+		f.collector = trace.NewCollector(f.srcHost, f.dstHost)
+		observers = append(observers, f.collector)
+		flows[i] = f
+	}
+
+	net := netsim.FromGraph(s, g, cfg.Net, observers)
+	for _, f := range flows {
+		f.collector.SetNetwork(net)
+	}
+	for i := 0; i < net.Len(); i++ {
+		node := net.Node(netsim.NodeID(i))
+		node.AttachProtocol(factory(node))
+	}
+	if cfg.FastReroute {
+		installLoopFreeAlternates(net, g)
+	}
+	net.Start()
+
+	for _, f := range flows {
+		src := net.Node(f.srcHost)
+		switch cfg.Traffic {
+		case TrafficPoisson:
+			netsim.StartPoisson(src, f.dstHost, cfg.PacketInterval, cfg.PacketSize, cfg.TTL, cfg.SenderStart, cfg.End)
+		case TrafficOnOff:
+			on, off := cfg.OnMean, cfg.OffMean
+			if on <= 0 {
+				on = time.Second
+			}
+			if off <= 0 {
+				off = time.Second
+			}
+			netsim.StartOnOff(src, f.dstHost, cfg.PacketInterval, on, off, cfg.PacketSize, cfg.TTL, cfg.SenderStart, cfg.End)
+		default:
+			netsim.StartCBR(src, f.dstHost, cfg.PacketInterval, cfg.PacketSize, cfg.TTL, cfg.SenderStart, cfg.End)
+		}
+	}
+
+	// The primary failure: a random link on the first flow's actual
+	// forwarding path at the failure instant (§5).
+	primary := flows[0]
+	var failedLink topology.Edge
+	warmedUp := false
+	samplePaths := func() {
+		for _, f := range flows {
+			f.collector.SamplePath()
+		}
+	}
+	s.ScheduleAt(cfg.FailAt, func() {
+		path, ok := net.WalkPath(primary.srcHost, primary.dstHost)
+		warmedUp = ok
+		candidates := pathMeshLinks(path, ok)
+		if len(candidates) == 0 {
+			// Unconverged flow: fall back to the topological shortest path
+			// between the attachment routers.
+			sp, spOK := g.ShortestPath(primary.srcRouter, primary.dstRouter)
+			candidates = pathLinks(sp, spOK)
+		}
+		// Only recoverable failures are studied (the paper's flows always
+		// converge to a new path): links whose removal would disconnect
+		// the flow are not candidates.
+		candidates = recoverable(net, meshEdges, candidates, primary.srcRouter, primary.dstRouter)
+		if len(candidates) == 0 {
+			return // nothing to fail; the trial proceeds undisturbed
+		}
+		failedLink = candidates[s.Rand().Intn(len(candidates))]
+		net.FailLink(failedLink.A, failedLink.B)
+		samplePaths()
+		if cfg.RestoreAfter <= 0 {
+			return
+		}
+		// Link repair, optionally cycled into flaps (route-flap-damping
+		// experiments): cycle i fails at FailAt + i·2·RestoreAfter.
+		cycle := 2 * cfg.RestoreAfter
+		flaps := cfg.Flaps
+		if flaps < 1 {
+			flaps = 1
+		}
+		for i := 0; i < flaps; i++ {
+			downAt := cfg.FailAt + time.Duration(i)*cycle
+			s.ScheduleAt(downAt+cfg.RestoreAfter, func() {
+				net.RestoreLink(failedLink.A, failedLink.B)
+				samplePaths()
+			})
+			if i > 0 {
+				s.ScheduleAt(downAt, func() {
+					net.FailLink(failedLink.A, failedLink.B)
+					samplePaths()
+				})
+			}
+		}
+	})
+
+	// Extension: additional failures of random live mesh links.
+	for _, at := range cfg.ExtraFailAts {
+		at := at
+		s.ScheduleAt(at, func() {
+			var live []topology.Edge
+			for _, e := range meshEdges {
+				if l := net.Link(e.A, e.B); l != nil && l.Up() {
+					live = append(live, e)
+				}
+			}
+			if len(live) == 0 {
+				return
+			}
+			e := live[s.Rand().Intn(len(live))]
+			net.FailLink(e.A, e.B)
+			for _, f := range flows {
+				f.collector.SamplePath()
+			}
+		})
+	}
+
+	s.RunUntil(cfg.End)
+
+	c := primary.collector
+	nBins := int((cfg.End - cfg.SenderStart) / time.Second)
+	throughputSamples := make([]stats.Sample, len(c.Deliveries))
+	delaySamples := make([]stats.Sample, len(c.Deliveries))
+	var postFailDelays []float64
+	for i, d := range c.Deliveries {
+		throughputSamples[i] = stats.Sample{At: d.At}
+		delaySamples[i] = stats.Sample{At: d.At, Value: d.Delay.Seconds()}
+		if d.At >= cfg.FailAt {
+			postFailDelays = append(postFailDelays, d.Delay.Seconds())
+		}
+	}
+	delaySummary := stats.Summarize(postFailDelays)
+	st := net.Stats()
+	return TrialResult{
+		Seed:                  seed,
+		SenderRouter:          primary.srcRouter,
+		ReceiverRouter:        primary.dstRouter,
+		FailedLink:            failedLink,
+		WarmedUp:              warmedUp,
+		Sent:                  int(st.DataSent),
+		Delivered:             int(st.DataDelivered),
+		NoRouteDrops:          sumFlows(flows, cfg.FailAt, netsim.DropNoRoute),
+		TTLDrops:              sumFlows(flows, cfg.FailAt, netsim.DropTTLExpired),
+		LinkFailureDrops:      sumFlows(flows, cfg.FailAt, netsim.DropLinkFailure),
+		QueueDrops:            sumFlows(flows, cfg.FailAt, netsim.DropQueueOverflow),
+		RoutingConvergence:    c.RoutingConvergence(cfg.FailAt),
+		ForwardingConvergence: c.ForwardingConvergence(cfg.FailAt),
+		TransientPaths:        c.TransientPaths(cfg.FailAt),
+		LoopEscapes:           c.LoopEscapes(cfg.FailAt),
+		Throughput:            stats.BinCounts(throughputSamples, cfg.SenderStart, time.Second, nBins),
+		Delay:                 stats.BinMeans(delaySamples, cfg.SenderStart, time.Second, nBins),
+		DelayP50:              delaySummary.Median,
+		DelayP95:              stats.Percentile(postFailDelays, 95),
+		DelayMax:              delaySummary.Max,
+		ControlMessages:       st.ControlSent,
+		ControlBytes:          st.ControlBytes,
+	}, c, nil
+}
+
+// installLoopFreeAlternates precomputes protection next hops: for every
+// (router, destination), if at least two neighbors are strictly closer to
+// the destination than the router itself, the highest-ID one becomes the
+// backup (the lowest is conventionally the primary). Strict downhill
+// alternates can never loop, even chained.
+func installLoopFreeAlternates(net *netsim.Network, g *topology.Graph) {
+	for dsti := 0; dsti < g.Len(); dsti++ {
+		dst := topology.NodeID(dsti)
+		dist := g.BFS(dst)
+		for vi := 0; vi < g.Len(); vi++ {
+			v := topology.NodeID(vi)
+			if v == dst || dist[v] < 0 {
+				continue
+			}
+			var downhill []netsim.NodeID
+			for _, n := range g.Neighbors(v) {
+				if dist[n] >= 0 && dist[n] < dist[v] {
+					downhill = append(downhill, n)
+				}
+			}
+			if len(downhill) == 0 {
+				continue
+			}
+			// Deflection chains along strictly-downhill backups always
+			// terminate at the destination, so every downhill neighbor is a
+			// valid protection entry. Prefer high IDs (protocol tie-breaks
+			// favor low IDs for primaries, so those are likely the dead
+			// ones) and let the forwarder skip entries with down links.
+			sort.Slice(downhill, func(i, j int) bool { return downhill[i] > downhill[j] })
+			net.Node(v).SetBackupRoutes(dst, downhill)
+		}
+	}
+}
+
+// recoverable filters failure candidates down to links whose removal
+// leaves src and dst connected over the currently-up mesh links.
+func recoverable(net *netsim.Network, meshEdges []topology.Edge, candidates []topology.Edge, src, dst netsim.NodeID) []topology.Edge {
+	// Nodes are numbered 0..N-1 with hosts at the top; sizing by the
+	// largest endpoint covers the mesh.
+	maxNode := topology.NodeID(0)
+	for _, e := range meshEdges {
+		if e.B > maxNode {
+			maxNode = e.B
+		}
+	}
+	live := topology.NewGraph(int(maxNode) + 1)
+	for _, e := range meshEdges {
+		if l := net.Link(e.A, e.B); l != nil && l.Up() {
+			live.AddEdge(e.A, e.B)
+		}
+	}
+	liveEdges := live.Edges()
+	out := candidates[:0]
+	for _, cand := range candidates {
+		trial := topology.NewGraph(live.Len())
+		for _, e := range liveEdges {
+			if e != cand {
+				trial.AddEdge(e.A, e.B)
+			}
+		}
+		if trial.BFS(src)[dst] >= 0 {
+			out = append(out, cand)
+		}
+	}
+	return out
+}
+
+// pathMeshLinks returns the failable links of a host-to-host walk: all its
+// edges except the first and last (the host access links).
+func pathMeshLinks(path []netsim.NodeID, ok bool) []topology.Edge {
+	if !ok || len(path) < 4 {
+		return nil
+	}
+	links := make([]topology.Edge, 0, len(path)-3)
+	for i := 1; i+2 < len(path); i++ {
+		links = append(links, topology.NewEdge(path[i], path[i+1]))
+	}
+	return links
+}
+
+// pathLinks returns every edge of a router-to-router path.
+func pathLinks(path []topology.NodeID, ok bool) []topology.Edge {
+	if !ok || len(path) < 2 {
+		return nil
+	}
+	links := make([]topology.Edge, 0, len(path)-1)
+	for i := 0; i+1 < len(path); i++ {
+		links = append(links, topology.NewEdge(path[i], path[i+1]))
+	}
+	return links
+}
+
+func sumFlows(flows []*flow, after time.Duration, reason netsim.DropReason) int {
+	n := 0
+	for _, f := range flows {
+		n += f.collector.DataDropsAfter(after, reason)
+	}
+	return n
+}
+
+// CI95Of returns the 95% confidence half-width of any per-trial metric's
+// mean, e.g. r.CI95Of(func(t TrialResult) float64 { return float64(t.NoRouteDrops) }).
+func (r *Result) CI95Of(metric func(TrialResult) float64) float64 {
+	xs := make([]float64, len(r.Trials))
+	for i, t := range r.Trials {
+		xs[i] = metric(t)
+	}
+	return stats.CI95(xs)
+}
+
+// aggregate fills the Result's mean fields from its trials.
+func (r *Result) aggregate() {
+	n := len(r.Trials)
+	if n == 0 {
+		return
+	}
+	var sent, delivered int
+	var throughputs, delays [][]float64
+	for _, t := range r.Trials {
+		r.MeanNoRouteDrops += float64(t.NoRouteDrops)
+		r.MeanTTLDrops += float64(t.TTLDrops)
+		r.MeanLinkDrops += float64(t.LinkFailureDrops)
+		r.MeanQueueDrops += float64(t.QueueDrops)
+		r.MeanRoutingConv += t.RoutingConvergence.Seconds()
+		r.MeanFwdConv += t.ForwardingConvergence.Seconds()
+		r.MeanTransientPath += float64(t.TransientPaths)
+		r.MeanDelayP95 += t.DelayP95
+		r.MeanDelayMax += t.DelayMax
+		r.MeanLoopEscapes += float64(t.LoopEscapes)
+		sent += t.Sent
+		delivered += t.Delivered
+		if t.WarmedUp {
+			r.WarmedUpTrials++
+		}
+		throughputs = append(throughputs, t.Throughput)
+		delays = append(delays, t.Delay)
+	}
+	fn := float64(n)
+	r.MeanNoRouteDrops /= fn
+	r.MeanTTLDrops /= fn
+	r.MeanLinkDrops /= fn
+	r.MeanQueueDrops /= fn
+	r.MeanRoutingConv /= fn
+	r.MeanFwdConv /= fn
+	r.MeanTransientPath /= fn
+	r.MeanDelayP95 /= fn
+	r.MeanDelayMax /= fn
+	r.MeanLoopEscapes /= fn
+	if sent > 0 {
+		r.DeliveryRatio = float64(delivered) / float64(sent)
+	} else {
+		r.DeliveryRatio = math.NaN()
+	}
+	r.MeanThroughput = stats.AverageSeries(throughputs)
+	r.MeanDelay = stats.AverageSeries(delays)
+}
+
+// multiObserver fans events out to several observers.
+type multiObserver []netsim.Observer
+
+var _ netsim.Observer = multiObserver(nil)
+
+// RouteChanged implements netsim.Observer.
+func (m multiObserver) RouteChanged(at time.Duration, node, dst, nextHop netsim.NodeID, removed bool) {
+	for _, o := range m {
+		o.RouteChanged(at, node, dst, nextHop, removed)
+	}
+}
+
+// PacketDelivered implements netsim.Observer.
+func (m multiObserver) PacketDelivered(at time.Duration, pkt *netsim.Packet) {
+	for _, o := range m {
+		o.PacketDelivered(at, pkt)
+	}
+}
+
+// PacketDropped implements netsim.Observer.
+func (m multiObserver) PacketDropped(at time.Duration, where netsim.NodeID, pkt *netsim.Packet, reason netsim.DropReason) {
+	for _, o := range m {
+		o.PacketDropped(at, where, pkt, reason)
+	}
+}

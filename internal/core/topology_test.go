@@ -1,0 +1,94 @@
+package core
+
+import (
+	"testing"
+
+	"routeconv/internal/netsim"
+	"routeconv/internal/topology"
+)
+
+func TestCustomTopologyTorus(t *testing.T) {
+	cfg := shortConfig()
+	cfg.Protocol = ProtoLS
+	cfg.Trials = 2
+	cfg.Topology = topology.Torus(5, 5)
+	cfg.SenderRouters = []netsim.NodeID{0, 1, 2, 3, 4}
+	cfg.ReceiverRouters = []netsim.NodeID{12, 17, 22}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WarmedUpTrials != cfg.Trials {
+		t.Errorf("warmed up %d/%d on the torus", res.WarmedUpTrials, cfg.Trials)
+	}
+	if res.DeliveryRatio < 0.99 {
+		t.Errorf("torus delivery ratio = %.3f", res.DeliveryRatio)
+	}
+	for _, tr := range res.Trials {
+		found := false
+		for _, r := range cfg.SenderRouters {
+			if tr.SenderRouter == r {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("sender attached to %d, not in SenderRouters", tr.SenderRouter)
+		}
+	}
+}
+
+func TestCustomTopologyHypercube(t *testing.T) {
+	cfg := shortConfig()
+	cfg.Protocol = ProtoDBF
+	cfg.Trials = 2
+	cfg.Topology = topology.Hypercube(4) // 16 nodes, degree 4
+	cfg.SenderRouters = []netsim.NodeID{0}
+	cfg.ReceiverRouters = []netsim.NodeID{15}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hypercube: 4 disjoint shortest paths between antipodes; DBF has a
+	// cached alternate at every hop.
+	if res.DeliveryRatio < 0.99 {
+		t.Errorf("hypercube delivery ratio = %.3f", res.DeliveryRatio)
+	}
+}
+
+func TestCustomTopologySharedAcrossTrials(t *testing.T) {
+	// The caller's graph must not accumulate host nodes across trials.
+	g := topology.Ring(8)
+	before := g.Len()
+	cfg := shortConfig()
+	cfg.Protocol = ProtoLS
+	cfg.Trials = 3
+	cfg.Topology = g
+	cfg.SenderRouters = []netsim.NodeID{0}
+	cfg.ReceiverRouters = []netsim.NodeID{4}
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != before {
+		t.Errorf("caller topology mutated: %d → %d nodes", before, g.Len())
+	}
+}
+
+func TestCustomTopologyValidation(t *testing.T) {
+	cfg := shortConfig()
+	cfg.Topology = topology.Ring(5)
+	if _, err := Run(cfg); err == nil {
+		t.Error("custom topology without attachment routers accepted")
+	}
+	cfg.SenderRouters = []netsim.NodeID{0}
+	cfg.ReceiverRouters = []netsim.NodeID{99}
+	if _, err := Run(cfg); err == nil {
+		t.Error("out-of-range receiver router accepted")
+	}
+	disconnected := topology.NewGraph(4)
+	disconnected.AddEdge(0, 1)
+	cfg.Topology = disconnected
+	cfg.ReceiverRouters = []netsim.NodeID{1}
+	if _, err := Run(cfg); err == nil {
+		t.Error("disconnected topology accepted")
+	}
+}

@@ -1,0 +1,391 @@
+package netsim
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"routeconv/internal/sim"
+	"routeconv/internal/topology"
+)
+
+// Config sets the physical parameters of every link in the network,
+// matching the paper's §5 simulation setup.
+type Config struct {
+	// LinkRateBps is the transmission rate in bits per second.
+	LinkRateBps int64
+	// LinkDelay is the propagation delay.
+	LinkDelay time.Duration
+	// DetectDelay is how long after a link fails (or recovers) the attached
+	// nodes' routing protocols are notified.
+	DetectDelay time.Duration
+	// QueueLimit is the maximum number of data packets queued per output
+	// port, excluding the one in transmission. Control packets are exempt
+	// (see DESIGN.md).
+	QueueLimit int
+	// RecordHops makes every packet record the nodes it visits, for loop
+	// analysis. It costs memory; leave it off for bulk trials.
+	RecordHops bool
+}
+
+// DefaultConfig returns the paper's link parameters: 10 Mbps, 1 ms
+// propagation delay, 50 ms failure detection, 20-packet queues.
+func DefaultConfig() Config {
+	return Config{
+		LinkRateBps: 10_000_000,
+		LinkDelay:   time.Millisecond,
+		DetectDelay: 50 * time.Millisecond,
+		QueueLimit:  20,
+	}
+}
+
+// Stats are the network-wide packet counters for one simulation.
+type Stats struct {
+	// DataSent counts data packets injected by traffic sources.
+	DataSent uint64
+	// DataDelivered counts data packets that reached their destination.
+	DataDelivered uint64
+	// ControlSent counts routing messages sent.
+	ControlSent uint64
+	// ControlBytes counts routing message bytes sent.
+	ControlBytes uint64
+	// DataDrops and ControlDrops count lost packets by cause.
+	DataDrops    [numDropReasons]uint64
+	ControlDrops [numDropReasons]uint64
+}
+
+// Dropped returns the number of data packets lost for the given reason.
+func (s Stats) Dropped(r DropReason) uint64 { return s.DataDrops[r] }
+
+// DataDropped returns the total data packets lost for any reason.
+func (s Stats) DataDropped() uint64 {
+	var total uint64
+	for _, n := range s.DataDrops {
+		total += n
+	}
+	return total
+}
+
+// Network is a set of nodes and links driven by a Simulator. Build one
+// with New or FromGraph, attach protocols, then Start it.
+type Network struct {
+	sim      *sim.Simulator
+	cfg      Config
+	nodes    []*Node
+	links    map[topology.Edge]*Link
+	observer Observer
+	stats    Stats
+	nextID   uint64
+	started  bool
+}
+
+// New returns an empty network using the given engine and link parameters.
+// A nil observer is replaced with NopObserver.
+func New(s *sim.Simulator, cfg Config, obs Observer) *Network {
+	if cfg.LinkRateBps <= 0 {
+		panic("netsim: LinkRateBps must be positive")
+	}
+	if obs == nil {
+		obs = NopObserver{}
+	}
+	return &Network{sim: s, cfg: cfg, links: make(map[topology.Edge]*Link), observer: obs}
+}
+
+// FromGraph returns a network with one node per graph node and one link per
+// graph edge.
+func FromGraph(s *sim.Simulator, g *topology.Graph, cfg Config, obs Observer) *Network {
+	n := New(s, cfg, obs)
+	for i := 0; i < g.Len(); i++ {
+		n.AddNode()
+	}
+	for _, e := range g.Edges() {
+		n.Connect(e.A, e.B)
+	}
+	return n
+}
+
+// Sim returns the driving simulator.
+func (n *Network) Sim() *sim.Simulator { return n.sim }
+
+// Stats returns the network-wide counters accumulated so far.
+func (n *Network) Stats() Stats { return n.stats }
+
+// Len returns the number of nodes.
+func (n *Network) Len() int { return len(n.nodes) }
+
+// AddNode creates a new node and returns it.
+func (n *Network) AddNode() *Node {
+	node := &Node{
+		id:    NodeID(len(n.nodes)),
+		net:   n,
+		ports: make(map[NodeID]*port),
+		fib:   make(map[NodeID]NodeID),
+	}
+	n.nodes = append(n.nodes, node)
+	return node
+}
+
+// Node returns the node with the given ID.
+func (n *Network) Node(id NodeID) *Node { return n.nodes[id] }
+
+// Connect creates a duplex link between a and b with the network's link
+// parameters. Connecting an existing pair panics (a model bug).
+func (n *Network) Connect(a, b NodeID) *Link {
+	e := topology.NewEdge(a, b)
+	if _, dup := n.links[e]; dup {
+		panic(fmt.Sprintf("netsim: duplicate link %d-%d", a, b))
+	}
+	na, nb := n.nodes[a], n.nodes[b]
+	l := &Link{net: n, edge: e}
+	l.dir[0] = &port{owner: na, peer: nb, link: l}
+	l.dir[1] = &port{owner: nb, peer: na, link: l}
+	na.ports[b] = l.dir[0]
+	nb.ports[a] = l.dir[1]
+	na.neighbors = insertSorted(na.neighbors, b)
+	nb.neighbors = insertSorted(nb.neighbors, a)
+	n.links[e] = l
+	return l
+}
+
+// Link returns the link between a and b, or nil when none exists.
+func (n *Network) Link(a, b NodeID) *Link { return n.links[topology.NewEdge(a, b)] }
+
+// Links returns all links sorted by edge.
+func (n *Network) Links() []*Link {
+	edges := make([]topology.Edge, 0, len(n.links))
+	for e := range n.links {
+		edges = append(edges, e)
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].A != edges[j].A {
+			return edges[i].A < edges[j].A
+		}
+		return edges[i].B < edges[j].B
+	})
+	out := make([]*Link, len(edges))
+	for i, e := range edges {
+		out[i] = n.links[e]
+	}
+	return out
+}
+
+// Start invokes every attached protocol's Start in node-ID order. It must
+// be called exactly once, after all nodes, links, and protocols are in
+// place.
+func (n *Network) Start() {
+	if n.started {
+		panic("netsim: Start called twice")
+	}
+	n.started = true
+	for _, node := range n.nodes {
+		if node.proto != nil {
+			node.proto.Start()
+		}
+	}
+}
+
+// FailLink takes the a-b link down immediately. Packets in flight or
+// subsequently transmitted onto it are lost; after DetectDelay both ends'
+// protocols receive LinkDown.
+func (n *Network) FailLink(a, b NodeID) {
+	l := n.links[topology.NewEdge(a, b)]
+	if l == nil {
+		panic(fmt.Sprintf("netsim: FailLink(%d,%d): no such link", a, b))
+	}
+	if l.down {
+		return
+	}
+	l.down = true
+	n.sim.Schedule(n.cfg.DetectDelay, func() {
+		if !l.down || l.detectedDown {
+			return // recovered before detection, or already detected
+		}
+		l.detectedDown = true
+		n.notifyLink(l, false)
+	})
+}
+
+// RestoreLink brings the a-b link back up; after DetectDelay both ends'
+// protocols receive LinkUp.
+func (n *Network) RestoreLink(a, b NodeID) {
+	l := n.links[topology.NewEdge(a, b)]
+	if l == nil {
+		panic(fmt.Sprintf("netsim: RestoreLink(%d,%d): no such link", a, b))
+	}
+	if !l.down {
+		return
+	}
+	l.down = false
+	n.sim.Schedule(n.cfg.DetectDelay, func() {
+		if l.down || !l.detectedDown {
+			return // failed again before detection, or failure never detected
+		}
+		l.detectedDown = false
+		n.notifyLink(l, true)
+	})
+}
+
+func (n *Network) notifyLink(l *Link, up bool) {
+	for _, p := range l.dir {
+		if proto := p.owner.proto; proto != nil {
+			if up {
+				proto.LinkUp(p.peer.id)
+			} else {
+				proto.LinkDown(p.peer.id)
+			}
+		}
+	}
+}
+
+// WalkPath follows forwarding tables from src toward dst and returns the
+// nodes visited, starting with src. ok is true only when the walk reaches
+// dst without encountering a missing route, a loop, or a down link.
+func (n *Network) WalkPath(src, dst NodeID) (path []NodeID, ok bool) {
+	seen := make(map[NodeID]bool)
+	cur := src
+	for {
+		path = append(path, cur)
+		if cur == dst {
+			return path, true
+		}
+		if seen[cur] {
+			return path, false // loop
+		}
+		seen[cur] = true
+		node := n.nodes[cur]
+		nh, exists := node.fib[dst]
+		if !exists {
+			return path, false
+		}
+		p, attached := node.ports[nh]
+		if !attached || p.link.down {
+			return path, false
+		}
+		cur = nh
+	}
+}
+
+// serialization returns the time to clock size bytes onto a link.
+func (n *Network) serialization(size int) time.Duration {
+	return time.Duration(int64(size) * 8 * int64(time.Second) / n.cfg.LinkRateBps)
+}
+
+func (n *Network) drop(where NodeID, pkt *Packet, reason DropReason) {
+	if pkt.Control() {
+		n.stats.ControlDrops[reason]++
+	} else {
+		n.stats.DataDrops[reason]++
+	}
+	n.observer.PacketDropped(n.sim.Now(), where, pkt, reason)
+}
+
+func insertSorted(s []NodeID, v NodeID) []NodeID {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+// Link is a duplex link between two nodes: two independent directional
+// transmitters sharing one up/down state.
+type Link struct {
+	net  *Network
+	edge topology.Edge
+	dir  [2]*port
+	down bool
+	// detectedDown tracks whether the attached protocols currently believe
+	// the link is down, so that flaps shorter than the detection window
+	// produce no notifications at all.
+	detectedDown bool
+}
+
+// Edge returns the canonical node pair the link connects.
+func (l *Link) Edge() topology.Edge { return l.edge }
+
+// Up reports whether the link is currently up.
+func (l *Link) Up() bool { return !l.down }
+
+// PortCounters are per-direction link transmission counters.
+type PortCounters struct {
+	// TxPackets and TxBytes count everything clocked onto the wire,
+	// including packets later lost to the link failing mid-flight.
+	TxPackets, TxBytes uint64
+	// QueueDrops counts data packets rejected by the full output queue.
+	QueueDrops uint64
+}
+
+// Counters returns the transmission counters for the direction from the
+// given node. It returns the zero value if from is not an endpoint.
+func (l *Link) Counters(from NodeID) PortCounters {
+	for _, p := range l.dir {
+		if p.owner.id == from {
+			return p.counters
+		}
+	}
+	return PortCounters{}
+}
+
+// port is one direction of a link: the transmitter owned by owner sending
+// toward peer.
+type port struct {
+	owner    *Node
+	peer     *Node
+	link     *Link
+	queue    []*Packet
+	inQ      int // data packets in queue
+	busy     bool
+	counters PortCounters
+}
+
+// send enqueues a packet for transmission, dropping data packets when the
+// data queue is full. Control packets are exempt from the cap (reliable
+// transport stand-in, see DESIGN.md).
+func (p *port) send(pkt *Packet) {
+	if p.busy {
+		if !pkt.Control() && p.inQ >= p.owner.net.cfg.QueueLimit {
+			p.counters.QueueDrops++
+			p.owner.net.drop(p.owner.id, pkt, DropQueueOverflow)
+			return
+		}
+		p.queue = append(p.queue, pkt)
+		if !pkt.Control() {
+			p.inQ++
+		}
+		return
+	}
+	p.transmit(pkt)
+}
+
+// transmit clocks the packet onto the wire. If the link is (or goes) down
+// before the packet would arrive, the packet is lost.
+func (p *port) transmit(pkt *Packet) {
+	p.busy = true
+	p.counters.TxPackets++
+	p.counters.TxBytes += uint64(pkt.Size)
+	net := p.owner.net
+	ser := net.serialization(pkt.Size)
+	net.sim.Schedule(ser, func() {
+		p.busy = false
+		if len(p.queue) > 0 {
+			next := p.queue[0]
+			copy(p.queue, p.queue[1:])
+			p.queue = p.queue[:len(p.queue)-1]
+			if !next.Control() {
+				p.inQ--
+			}
+			p.transmit(next)
+		}
+		if p.link.down {
+			net.drop(p.owner.id, pkt, DropLinkFailure)
+			return
+		}
+		net.sim.Schedule(net.cfg.LinkDelay, func() {
+			if p.link.down {
+				net.drop(p.owner.id, pkt, DropLinkFailure)
+				return
+			}
+			p.peer.receive(p.owner.id, pkt)
+		})
+	})
+}

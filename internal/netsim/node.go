@@ -1,0 +1,308 @@
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"routeconv/internal/sim"
+)
+
+// Protocol is a routing protocol instance attached to one node. All methods
+// run synchronously inside the event loop.
+type Protocol interface {
+	// Start begins protocol operation (initial announcements, periodic
+	// timers). Called once by Network.Start.
+	Start()
+	// HandleMessage delivers a routing message received from a directly
+	// connected neighbor.
+	HandleMessage(from NodeID, msg Message)
+	// LinkDown reports that the link to neighbor has been detected failed.
+	LinkDown(neighbor NodeID)
+	// LinkUp reports that the link to neighbor has been detected restored.
+	LinkUp(neighbor NodeID)
+}
+
+// Node is a router: it owns a forwarding table (FIB), output ports, and
+// optionally a routing protocol that maintains the FIB.
+type Node struct {
+	id        NodeID
+	net       *Network
+	ports     map[NodeID]*port
+	neighbors []NodeID // sorted; gives protocols a deterministic iteration order
+	fib       map[NodeID]NodeID
+	// backup holds precomputed protection next hops (fast reroute), in
+	// preference order: used the instant the primary is unusable, without
+	// waiting for protocol convergence.
+	backup map[NodeID][]NodeID
+	// multi holds equal-cost multipath sets installed by ECMP-capable
+	// protocols; flows hash across them.
+	multi map[NodeID][]NodeID
+	proto Protocol
+}
+
+// ID returns the node's identifier.
+func (nd *Node) ID() NodeID { return nd.id }
+
+// Sim returns the driving simulator, for protocol timers and randomness.
+func (nd *Node) Sim() *sim.Simulator { return nd.net.sim }
+
+// Neighbors returns the node's directly connected neighbors in ascending ID
+// order. The slice is owned by the node; callers must not modify it.
+func (nd *Node) Neighbors() []NodeID { return nd.neighbors }
+
+// LinkUpTo reports whether the link to the neighbor is currently up.
+// It returns false for nodes that are not neighbors.
+func (nd *Node) LinkUpTo(neighbor NodeID) bool {
+	p, ok := nd.ports[neighbor]
+	return ok && !p.link.down
+}
+
+// AttachProtocol binds a protocol instance to the node. It must be called
+// before Network.Start.
+func (nd *Node) AttachProtocol(p Protocol) {
+	if nd.net.started {
+		panic("netsim: AttachProtocol after Start")
+	}
+	nd.proto = p
+}
+
+// Protocol returns the attached protocol, or nil.
+func (nd *Node) Protocol() Protocol { return nd.proto }
+
+// SetRoute installs nextHop as the forwarding entry for dst. nextHop must
+// be a directly connected neighbor.
+func (nd *Node) SetRoute(dst, nextHop NodeID) {
+	if _, ok := nd.ports[nextHop]; !ok {
+		panic(fmt.Sprintf("netsim: node %d: next hop %d is not a neighbor", nd.id, nextHop))
+	}
+	if old, ok := nd.fib[dst]; ok && old == nextHop {
+		return
+	}
+	nd.fib[dst] = nextHop
+	nd.net.observer.RouteChanged(nd.net.sim.Now(), nd.id, dst, nextHop, false)
+}
+
+// ClearRoute removes the forwarding entry for dst, if any.
+func (nd *Node) ClearRoute(dst NodeID) {
+	if _, ok := nd.fib[dst]; !ok {
+		return
+	}
+	delete(nd.fib, dst)
+	nd.net.observer.RouteChanged(nd.net.sim.Now(), nd.id, dst, 0, true)
+}
+
+// NextHop returns the current forwarding entry for dst.
+func (nd *Node) NextHop(dst NodeID) (NodeID, bool) {
+	nh, ok := nd.fib[dst]
+	return nh, ok
+}
+
+// SetBackupRoutes installs precomputed protection next hops for dst, in
+// preference order — the "alternate path always ready at the line card" of
+// the paper's related work ([1] IGP fast reroute, [27] emergency exits).
+// They are consulted only when the primary next hop is unusable (link
+// physically down, or route withdrawn) and are not touched by routing
+// protocols. The first backup whose link is up wins.
+func (nd *Node) SetBackupRoutes(dst NodeID, nextHops []NodeID) {
+	for _, nh := range nextHops {
+		if _, ok := nd.ports[nh]; !ok {
+			panic(fmt.Sprintf("netsim: node %d: backup next hop %d is not a neighbor", nd.id, nh))
+		}
+	}
+	if nd.backup == nil {
+		nd.backup = make(map[NodeID][]NodeID)
+	}
+	nd.backup[dst] = nextHops
+}
+
+// ClearBackupRoutes removes the protection entries for dst, if any.
+func (nd *Node) ClearBackupRoutes(dst NodeID) { delete(nd.backup, dst) }
+
+// SetMultipath installs an equal-cost multipath set for dst. Flows are
+// hashed across the set (per source/destination pair, so a flow's packets
+// stay ordered); next hops with down links are skipped. SetRoute still
+// controls the canonical single next hop used by WalkPath and convergence
+// metrics. An empty or single-entry set clears multipath forwarding.
+func (nd *Node) SetMultipath(dst NodeID, nextHops []NodeID) {
+	for _, nh := range nextHops {
+		if _, ok := nd.ports[nh]; !ok {
+			panic(fmt.Sprintf("netsim: node %d: multipath next hop %d is not a neighbor", nd.id, nh))
+		}
+	}
+	if len(nextHops) < 2 {
+		delete(nd.multi, dst)
+		return
+	}
+	if nd.multi == nil {
+		nd.multi = make(map[NodeID][]NodeID)
+	}
+	nd.multi[dst] = nextHops
+}
+
+// Multipath returns the equal-cost set for dst (nil when single-path).
+// The slice is owned by the node; callers must not modify it.
+func (nd *Node) Multipath(dst NodeID) []NodeID { return nd.multi[dst] }
+
+// flowHash gives a stable per-flow starting index into an ECMP set, using
+// a splitmix64-style finalizer for good avalanche in the low bits.
+func flowHash(src, dst NodeID, n int) int {
+	h := uint64(src)<<32 ^ uint64(uint32(dst))
+	h ^= h >> 30
+	h *= 0xBF58_476D_1CE4_E5B9
+	h ^= h >> 27
+	h *= 0x94D0_49BB_1331_11EB
+	h ^= h >> 31
+	return int(h % uint64(n))
+}
+
+// BackupRoutes returns the protection next hops for dst in preference
+// order. The slice is owned by the node; callers must not modify it.
+func (nd *Node) BackupRoutes(dst NodeID) []NodeID { return nd.backup[dst] }
+
+// SendControl transmits a routing message to a directly connected neighbor.
+// The message rides the link like any packet (serialization, propagation,
+// loss on a failed link) but is exempt from the data queue cap.
+func (nd *Node) SendControl(to NodeID, msg Message) {
+	p, ok := nd.ports[to]
+	if !ok {
+		panic(fmt.Sprintf("netsim: node %d: SendControl to non-neighbor %d", nd.id, to))
+	}
+	net := nd.net
+	pkt := &Packet{
+		ID:      net.nextID,
+		Src:     nd.id,
+		Dst:     to,
+		Size:    msg.SizeBytes(),
+		Payload: msg,
+		Created: net.sim.Now(),
+	}
+	net.nextID++
+	net.stats.ControlSent++
+	net.stats.ControlBytes += uint64(pkt.Size)
+	p.send(pkt)
+}
+
+// SendData injects a new data packet addressed to dst and forwards it
+// according to the node's FIB.
+func (nd *Node) SendData(dst NodeID, size, ttl int) {
+	net := nd.net
+	pkt := &Packet{
+		ID:      net.nextID,
+		Src:     nd.id,
+		Dst:     dst,
+		TTL:     ttl,
+		Size:    size,
+		Created: net.sim.Now(),
+	}
+	net.nextID++
+	net.stats.DataSent++
+	if net.cfg.RecordHops {
+		pkt.Trace = append(pkt.Trace, nd.id)
+	}
+	nd.forward(pkt)
+}
+
+// receive handles a packet arriving from a neighbor.
+func (nd *Node) receive(from NodeID, pkt *Packet) {
+	if pkt.Control() {
+		if nd.proto != nil {
+			nd.proto.HandleMessage(from, pkt.Payload)
+		}
+		return
+	}
+	pkt.HopCount++
+	if nd.net.cfg.RecordHops {
+		pkt.Trace = append(pkt.Trace, nd.id)
+	}
+	if pkt.Dst == nd.id {
+		nd.net.stats.DataDelivered++
+		nd.net.observer.PacketDelivered(nd.net.sim.Now(), pkt)
+		return
+	}
+	pkt.TTL--
+	if pkt.TTL <= 0 {
+		nd.net.drop(nd.id, pkt, DropTTLExpired)
+		return
+	}
+	nd.forward(pkt)
+}
+
+// forward looks up the FIB and queues the packet on the corresponding
+// output port. When the primary is unusable — its link is physically down,
+// or the control plane has withdrawn the route entirely — and a protection
+// entry exists, the packet deflects to the backup immediately (fast
+// reroute: the backup lives below the routing table, like a line-card
+// protection entry).
+func (nd *Node) forward(pkt *Packet) {
+	var p *port
+	if set := nd.multi[pkt.Dst]; len(set) > 1 {
+		// ECMP: start at the flow's hash slot and take the first next hop
+		// whose link is up.
+		start := flowHash(pkt.Src, pkt.Dst, len(set))
+		for i := range set {
+			if mp, attached := nd.ports[set[(start+i)%len(set)]]; attached && !mp.link.down {
+				p = mp
+				break
+			}
+		}
+	}
+	if p == nil {
+		if nh, ok := nd.fib[pkt.Dst]; ok {
+			p = nd.ports[nh]
+		}
+	}
+	if p == nil || p.link.down {
+		for _, alt := range nd.backup[pkt.Dst] {
+			if ap, attached := nd.ports[alt]; attached && !ap.link.down {
+				p = ap
+				break
+			}
+		}
+	}
+	if p == nil {
+		nd.net.drop(nd.id, pkt, DropNoRoute)
+		return
+	}
+	p.send(pkt)
+}
+
+// CBR generates constant-bit-rate data traffic from one node to a fixed
+// destination: the paper's single sender workload (§5).
+type CBR struct {
+	node     *Node
+	dst      NodeID
+	interval time.Duration
+	size     int
+	ttl      int
+	stopAt   time.Duration
+	event    *sim.Event
+}
+
+// StartCBR begins sending size-byte packets with the given TTL from node to
+// dst every interval, from virtual time start until stop (exclusive).
+func StartCBR(node *Node, dst NodeID, interval time.Duration, size, ttl int, start, stop time.Duration) *CBR {
+	if interval <= 0 {
+		panic("netsim: CBR interval must be positive")
+	}
+	c := &CBR{node: node, dst: dst, interval: interval, size: size, ttl: ttl, stopAt: stop}
+	c.event = node.Sim().ScheduleAt(start, c.tick)
+	return c
+}
+
+// Stop halts the source.
+func (c *CBR) Stop() {
+	if c.event != nil {
+		c.event.Cancel()
+		c.event = nil
+	}
+}
+
+func (c *CBR) tick() {
+	now := c.node.Sim().Now()
+	if now >= c.stopAt {
+		c.event = nil
+		return
+	}
+	c.node.SendData(c.dst, c.size, c.ttl)
+	c.event = c.node.Sim().Schedule(c.interval, c.tick)
+}

@@ -1,0 +1,117 @@
+// Package netsim is the packet-level network substrate: nodes with
+// forwarding tables, duplex links with serialization and propagation delay
+// and finite FIFO queues, hop-by-hop forwarding with TTL, failure
+// injection, and per-cause drop accounting. It replaces the IRLSim
+// simulator used by the paper.
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"routeconv/internal/topology"
+)
+
+// NodeID identifies a node in the network. It is shared with the topology
+// package so graphs map directly onto networks.
+type NodeID = topology.NodeID
+
+// DropReason classifies why a packet was lost. The paper's figures depend
+// on distinguishing no-route drops (Figure 3) from TTL expirations caused
+// by transient loops (Figure 4).
+type DropReason int
+
+// Drop reasons, in the order the forwarding path checks them.
+const (
+	// DropNoRoute: the node had no forwarding entry for the destination —
+	// the path switch-over period of §4.1.
+	DropNoRoute DropReason = iota + 1
+	// DropTTLExpired: the packet ran out of hops, in this study always due
+	// to a transient forwarding loop (§5.2).
+	DropTTLExpired
+	// DropQueueOverflow: the output port's finite data queue was full.
+	DropQueueOverflow
+	// DropLinkFailure: the packet was transmitted onto a failed link before
+	// the failure was detected.
+	DropLinkFailure
+	// numDropReasons sizes arrays indexed by DropReason (reasons start at 1).
+	numDropReasons = iota + 1
+)
+
+// String returns a short human-readable name for the drop reason.
+func (r DropReason) String() string {
+	switch r {
+	case DropNoRoute:
+		return "no-route"
+	case DropTTLExpired:
+		return "ttl-expired"
+	case DropQueueOverflow:
+		return "queue-overflow"
+	case DropLinkFailure:
+		return "link-failure"
+	default:
+		return fmt.Sprintf("DropReason(%d)", int(r))
+	}
+}
+
+// Message is a routing-protocol payload carried in a control packet. Its
+// size determines the packet's serialization delay.
+type Message interface {
+	// SizeBytes returns the on-wire size of the message, including
+	// transport overhead.
+	SizeBytes() int
+}
+
+// Packet is a unit of transmission, either a data packet or a link-local
+// control packet carrying a routing Message.
+type Packet struct {
+	// ID is unique per network, in send order.
+	ID uint64
+	// Src and Dst are the originating and destination nodes. For control
+	// packets Dst is the neighbor the message is addressed to.
+	Src, Dst NodeID
+	// TTL is the remaining hop budget; decremented at each forwarding hop.
+	TTL int
+	// Size is the on-wire size in bytes.
+	Size int
+	// Payload is non-nil for control packets.
+	Payload Message
+	// Created is the virtual time the packet entered the network.
+	Created time.Duration
+	// HopCount is the number of forwarding hops taken so far.
+	HopCount int
+	// Trace records the nodes visited, when Config.RecordHops is set.
+	Trace []NodeID
+}
+
+// Control reports whether the packet carries a routing message.
+func (p *Packet) Control() bool { return p.Payload != nil }
+
+// Observer receives simulation events. All methods are called synchronously
+// from the event loop; implementations must not retain the packet.
+type Observer interface {
+	// RouteChanged fires when a node's forwarding entry for dst changes.
+	// removed means the entry was deleted; otherwise nextHop is the new
+	// next hop.
+	RouteChanged(at time.Duration, node, dst, nextHop NodeID, removed bool)
+	// PacketDelivered fires when a data packet reaches its destination.
+	PacketDelivered(at time.Duration, pkt *Packet)
+	// PacketDropped fires when any packet is lost, with the node that lost
+	// it and the cause.
+	PacketDropped(at time.Duration, where NodeID, pkt *Packet, reason DropReason)
+}
+
+// NopObserver is an Observer that ignores every event. Embed it to
+// implement only the events of interest.
+type NopObserver struct{}
+
+// RouteChanged implements Observer.
+func (NopObserver) RouteChanged(time.Duration, NodeID, NodeID, NodeID, bool) {}
+
+// PacketDelivered implements Observer.
+func (NopObserver) PacketDelivered(time.Duration, *Packet) {}
+
+// PacketDropped implements Observer.
+func (NopObserver) PacketDropped(time.Duration, NodeID, *Packet, DropReason) {}
+
+var _ Observer = NopObserver{}

@@ -1,0 +1,130 @@
+package netsim
+
+import (
+	"math"
+	"time"
+
+	"routeconv/internal/sim"
+)
+
+// Source generates data traffic from one node to a fixed destination.
+// CBR (in node.go) is the paper's workload; Poisson and on/off sources
+// support workload-sensitivity extensions.
+type Source interface {
+	// Stop halts the source; safe to call more than once.
+	Stop()
+}
+
+// poisson sends packets with exponentially distributed inter-arrival
+// times.
+type poisson struct {
+	node         *Node
+	dst          NodeID
+	meanInterval time.Duration
+	size, ttl    int
+	stopAt       time.Duration
+	event        *sim.Event
+}
+
+// StartPoisson begins a Poisson process of mean rate 1/meanInterval from
+// node to dst, running from start until stop.
+func StartPoisson(node *Node, dst NodeID, meanInterval time.Duration, size, ttl int, start, stop time.Duration) Source {
+	if meanInterval <= 0 {
+		panic("netsim: Poisson mean interval must be positive")
+	}
+	p := &poisson{node: node, dst: dst, meanInterval: meanInterval, size: size, ttl: ttl, stopAt: stop}
+	p.event = node.Sim().ScheduleAt(start, p.tick)
+	return p
+}
+
+func (p *poisson) Stop() {
+	if p.event != nil {
+		p.event.Cancel()
+		p.event = nil
+	}
+}
+
+func (p *poisson) tick() {
+	now := p.node.Sim().Now()
+	if now >= p.stopAt {
+		p.event = nil
+		return
+	}
+	p.node.SendData(p.dst, p.size, p.ttl)
+	p.event = p.node.Sim().Schedule(exp(p.node.Sim(), p.meanInterval), p.tick)
+}
+
+// onOff alternates exponentially distributed ON and OFF periods, sending
+// at a constant rate while ON (the classic bursty-traffic model).
+type onOff struct {
+	node            *Node
+	dst             NodeID
+	interval        time.Duration
+	onMean, offMean time.Duration
+	size, ttl       int
+	stopAt          time.Duration
+	on              bool
+	until           time.Duration // end of the current period
+	event           *sim.Event
+}
+
+// StartOnOff begins a bursty source: ON periods (mean onMean) during which
+// packets flow every interval, separated by silent OFF periods (mean
+// offMean). It starts ON at start and runs until stop.
+func StartOnOff(node *Node, dst NodeID, interval, onMean, offMean time.Duration, size, ttl int, start, stop time.Duration) Source {
+	if interval <= 0 || onMean <= 0 || offMean <= 0 {
+		panic("netsim: on/off parameters must be positive")
+	}
+	o := &onOff{
+		node: node, dst: dst, interval: interval,
+		onMean: onMean, offMean: offMean,
+		size: size, ttl: ttl, stopAt: stop,
+	}
+	o.event = node.Sim().ScheduleAt(start, o.begin)
+	return o
+}
+
+func (o *onOff) Stop() {
+	if o.event != nil {
+		o.event.Cancel()
+		o.event = nil
+	}
+}
+
+// begin opens an ON period.
+func (o *onOff) begin() {
+	now := o.node.Sim().Now()
+	if now >= o.stopAt {
+		o.event = nil
+		return
+	}
+	o.on = true
+	o.until = now + exp(o.node.Sim(), o.onMean)
+	o.tick()
+}
+
+func (o *onOff) tick() {
+	now := o.node.Sim().Now()
+	if now >= o.stopAt {
+		o.event = nil
+		return
+	}
+	if now >= o.until {
+		// Go silent, then begin the next burst.
+		o.on = false
+		o.event = o.node.Sim().Schedule(exp(o.node.Sim(), o.offMean), o.begin)
+		return
+	}
+	o.node.SendData(o.dst, o.size, o.ttl)
+	o.event = o.node.Sim().Schedule(o.interval, o.tick)
+}
+
+// exp draws an exponentially distributed duration with the given mean from
+// the simulator's random source.
+func exp(s *sim.Simulator, mean time.Duration) time.Duration {
+	d := time.Duration(-math.Log(1-s.Rand().Float64()) * float64(mean))
+	if d <= 0 {
+		d = 1 // never schedule at zero to keep the event loop finite
+	}
+	return d
+}

@@ -1,0 +1,100 @@
+// Package routetest provides shared helpers for exercising routing
+// protocols end to end: building a network from a topology with a protocol
+// attached to every node, running it, and asserting that every forwarding
+// table realizes shortest paths.
+package routetest
+
+import (
+	"testing"
+	"time"
+
+	"routeconv/internal/netsim"
+	"routeconv/internal/sim"
+	"routeconv/internal/topology"
+)
+
+// Factory constructs a protocol instance for a node.
+type Factory func(*netsim.Node) netsim.Protocol
+
+// Build creates a simulator and network over g with a protocol from f
+// attached to every node, and starts it.
+func Build(seed int64, g *topology.Graph, cfg netsim.Config, obs netsim.Observer, f Factory) (*sim.Simulator, *netsim.Network) {
+	s := sim.New(seed)
+	net := netsim.FromGraph(s, g, cfg, obs)
+	for i := 0; i < net.Len(); i++ {
+		node := net.Node(netsim.NodeID(i))
+		node.AttachProtocol(f(node))
+	}
+	net.Start()
+	return s, net
+}
+
+// AssertShortestPaths fails the test unless, for every ordered node pair,
+// following forwarding tables from src reaches dst in exactly the
+// shortest-path hop count of g. Links that are down in net are removed from
+// the reference graph first.
+func AssertShortestPaths(t *testing.T, net *netsim.Network, g *topology.Graph) {
+	t.Helper()
+	ref := liveGraph(net, g)
+	for src := 0; src < g.Len(); src++ {
+		dist := ref.BFS(topology.NodeID(src))
+		for dst := 0; dst < g.Len(); dst++ {
+			if src == dst {
+				continue
+			}
+			path, ok := net.WalkPath(netsim.NodeID(src), netsim.NodeID(dst))
+			if dist[dst] < 0 {
+				if ok {
+					t.Errorf("walk %d→%d succeeded (%v) but dst is unreachable", src, dst, path)
+				}
+				continue
+			}
+			if !ok {
+				t.Errorf("walk %d→%d failed: %v", src, dst, path)
+				continue
+			}
+			if got := len(path) - 1; got != dist[dst] {
+				t.Errorf("walk %d→%d took %d hops, shortest is %d (path %v)", src, dst, got, dist[dst], path)
+			}
+		}
+	}
+}
+
+// Converged reports whether every pair currently routes along a shortest
+// path of the live topology.
+func Converged(net *netsim.Network, g *topology.Graph) bool {
+	ref := liveGraph(net, g)
+	for src := 0; src < g.Len(); src++ {
+		dist := ref.BFS(topology.NodeID(src))
+		for dst := 0; dst < g.Len(); dst++ {
+			if src == dst {
+				continue
+			}
+			path, ok := net.WalkPath(netsim.NodeID(src), netsim.NodeID(dst))
+			if dist[dst] < 0 {
+				if ok {
+					return false
+				}
+				continue
+			}
+			if !ok || len(path)-1 != dist[dst] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// liveGraph returns g minus the links that are currently down in net.
+func liveGraph(net *netsim.Network, g *topology.Graph) *topology.Graph {
+	live := topology.NewGraph(g.Len())
+	for _, e := range g.Edges() {
+		if l := net.Link(e.A, e.B); l != nil && l.Up() {
+			live.AddEdge(e.A, e.B)
+		}
+	}
+	return live
+}
+
+// RunFor advances the simulation by d.
+func RunFor(s *sim.Simulator, d time.Duration) { s.RunUntil(s.Now() + d) }

@@ -1,0 +1,469 @@
+// Package bgp implements the path-vector protocol of the paper's §3: BGP-4
+// restricted to shortest-path routing policy with one router per AS.
+//
+// Each router keeps the latest path heard from every neighbor (Adj-RIB-In),
+// so path switch-over is instant when an alternate exists. A received path
+// containing the receiver is a routing loop and is treated as a withdrawal,
+// which plays the role of split horizon with poisoned reverse. Updates are
+// sent only on change, spaced per neighbor by the Minimum Route
+// Advertisement Interval (MRAI); withdrawals are exempt from MRAI. The
+// paper's "BGP3" variant is this protocol with a 3 s MRAI instead of 30 s,
+// and §5.2 notes results would differ with a per-(neighbor, destination)
+// MRAI — both are supported.
+package bgp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"routeconv/internal/netsim"
+	"routeconv/internal/routing"
+	"routeconv/internal/sim"
+)
+
+// Message size model, matching the RFC 4271-shaped encoding in wire.go
+// plus 40 bytes of TCP/IP framing: a 19-byte BGP header and the two
+// section-length fields; 5 bytes per withdrawn route; 14 bytes of
+// attribute/NLRI overhead plus 4 bytes per path element for an
+// announcement. TestWireSizeModel pins SizeBytes to len(Encode()).
+const (
+	headerBytes   = TCPIPOverhead + bgpHeaderLen + 4
+	withdrawBytes = 5
+	announceBytes = 14
+	pathElemBytes = 4
+)
+
+// Config parameterizes a BGP speaker.
+type Config struct {
+	// MRAI is the mean minimum interval between successive advertisements
+	// to the same neighbor. The paper's BGP uses 30 s; BGP3 uses 3 s.
+	MRAI time.Duration
+	// MRAIJitter spreads each drawn interval uniformly over MRAI ± jitter.
+	MRAIJitter time.Duration
+	// PerDestMRAI switches the timer from per-neighbor (vendor default,
+	// used in the paper) to per-(neighbor, destination) — the §5.2 ablation.
+	PerDestMRAI bool
+	// DampWithdrawals subjects withdrawals to MRAI too (an ablation; the
+	// paper's BGP sends withdrawals immediately).
+	DampWithdrawals bool
+	// Damping enables RFC 2439 route flap damping when non-nil — the
+	// mechanism whose interaction with convergence the paper's
+	// introduction highlights ([4], [15]).
+	Damping *DampingConfig
+}
+
+// DefaultConfig returns the paper's standard BGP parameters: a 30 s
+// per-neighbor MRAI.
+func DefaultConfig() Config {
+	return Config{MRAI: 30 * time.Second, MRAIJitter: 7500 * time.Millisecond}
+}
+
+// BGP3Config returns the paper's specially parameterized BGP3: a 3 s MRAI,
+// making its damping delay comparable to RIP/DBF's triggered-update timer.
+func BGP3Config() Config {
+	return Config{MRAI: 3 * time.Second, MRAIJitter: 750 * time.Millisecond}
+}
+
+// Update is a BGP update message. Because every destination originates its
+// own prefix, no two destinations share a path, so an update announces at
+// most one destination (as §5.2 observes) while withdrawals batch freely.
+type Update struct {
+	// Withdrawn lists destinations the sender can no longer reach.
+	Withdrawn []routing.NodeID
+	// Dst is the announced destination; valid only when Path is non-nil.
+	Dst routing.NodeID
+	// Path is the sender's path to Dst, starting with the sender itself
+	// and ending with Dst.
+	Path []routing.NodeID
+}
+
+// SizeBytes implements netsim.Message.
+func (u *Update) SizeBytes() int {
+	size := headerBytes + withdrawBytes*len(u.Withdrawn)
+	if u.Path != nil {
+		size += announceBytes + pathElemBytes*len(u.Path)
+	}
+	return size
+}
+
+// Protocol is a BGP speaker bound to one node.
+type Protocol struct {
+	node *netsim.Node
+	cfg  Config
+	// adjIn holds, per neighbor, the latest valid path heard per
+	// destination. Paths that contain this node are never stored (loop =
+	// withdrawal).
+	adjIn map[routing.NodeID]map[routing.NodeID][]routing.NodeID
+	// best holds the selected path per destination, starting with this
+	// node.
+	best map[routing.NodeID][]routing.NodeID
+	// ribOut holds, per neighbor, the path last advertised (nil after a
+	// withdrawal).
+	ribOut map[routing.NodeID]map[routing.NodeID][]routing.NodeID
+	// pending holds, per neighbor, destinations whose state changed since
+	// the last flush.
+	pending map[routing.NodeID]map[routing.NodeID]bool
+	// deadline holds, in per-destination MRAI mode, the earliest time each
+	// (neighbor, destination) may next be advertised.
+	deadline map[routing.NodeID]map[routing.NodeID]time.Duration
+	mrai     map[routing.NodeID]*sim.Timer
+	up       map[routing.NodeID]bool
+	// dirty accumulates destinations changed while processing one event.
+	dirty map[routing.NodeID]bool
+	// damper is non-nil when route flap damping is enabled.
+	damper *damper
+}
+
+var _ netsim.Protocol = (*Protocol)(nil)
+
+// New returns a BGP instance for the node.
+func New(node *netsim.Node, cfg Config) *Protocol {
+	p := &Protocol{
+		node:     node,
+		cfg:      cfg,
+		adjIn:    make(map[routing.NodeID]map[routing.NodeID][]routing.NodeID),
+		best:     make(map[routing.NodeID][]routing.NodeID),
+		ribOut:   make(map[routing.NodeID]map[routing.NodeID][]routing.NodeID),
+		pending:  make(map[routing.NodeID]map[routing.NodeID]bool),
+		deadline: make(map[routing.NodeID]map[routing.NodeID]time.Duration),
+		mrai:     make(map[routing.NodeID]*sim.Timer),
+		up:       make(map[routing.NodeID]bool),
+		dirty:    make(map[routing.NodeID]bool),
+	}
+	if cfg.Damping != nil {
+		p.damper = newDamper(*cfg.Damping, node.Sim(), func(_, dst routing.NodeID) {
+			p.recompute(dst)
+			p.flushAll()
+		})
+	}
+	return p
+}
+
+// Factory returns a constructor suitable for attaching BGP to every node.
+func Factory(cfg Config) func(*netsim.Node) netsim.Protocol {
+	return func(n *netsim.Node) netsim.Protocol { return New(n, cfg) }
+}
+
+// BestPath returns the selected path to dst (starting with this node), or
+// nil when the destination is unreachable. Exposed for tests and tools.
+func (p *Protocol) BestPath(dst routing.NodeID) []routing.NodeID { return p.best[dst] }
+
+// DebugState renders the speaker's complete state for one destination —
+// Adj-RIB-In paths, Adj-RIB-Out, pending flags, and MRAI timers — for
+// tests and troubleshooting tools.
+func (p *Protocol) DebugState(dst routing.NodeID) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "node %d dst %d best=%v\n", p.node.ID(), dst, p.best[dst])
+	for _, n := range p.node.Neighbors() {
+		fmt.Fprintf(&sb, "  nbr %d up=%v in=%v out=%v pending=%v mrai=%v",
+			n, p.up[n], p.adjIn[n][dst], p.ribOut[n][dst], p.pending[n][dst], p.mrai[n].Pending())
+		if p.damper != nil && p.damper.Suppressed(n, dst) {
+			sb.WriteString(" SUPPRESSED")
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// Start implements netsim.Protocol.
+func (p *Protocol) Start() {
+	self := p.node.ID()
+	p.best[self] = []routing.NodeID{self}
+	for _, n := range p.node.Neighbors() {
+		p.sessionUp(n)
+		p.pending[n][self] = true
+	}
+	p.flushAll()
+}
+
+// sessionUp initializes per-neighbor state.
+func (p *Protocol) sessionUp(n routing.NodeID) {
+	p.up[n] = true
+	p.adjIn[n] = make(map[routing.NodeID][]routing.NodeID)
+	p.ribOut[n] = make(map[routing.NodeID][]routing.NodeID)
+	p.pending[n] = make(map[routing.NodeID]bool)
+	p.deadline[n] = make(map[routing.NodeID]time.Duration)
+	if p.mrai[n] == nil {
+		n := n
+		p.mrai[n] = sim.NewTimer(p.node.Sim(), func() { p.flush(n) })
+	}
+}
+
+// HandleMessage implements netsim.Protocol.
+func (p *Protocol) HandleMessage(from routing.NodeID, msg netsim.Message) {
+	u, ok := msg.(*Update)
+	if !ok {
+		return
+	}
+	in := p.adjIn[from]
+	if in == nil {
+		return // no session (e.g. message raced a link-down detection)
+	}
+	for _, dst := range u.Withdrawn {
+		if _, had := in[dst]; had {
+			delete(in, dst)
+			if p.damper != nil {
+				p.damper.OnWithdraw(from, dst)
+			}
+			p.recompute(dst)
+		}
+	}
+	if u.Path != nil {
+		_, had := in[u.Dst]
+		if contains(u.Path, p.node.ID()) {
+			// Loop detected: treat as withdrawal (§3).
+			if had {
+				delete(in, u.Dst)
+				if p.damper != nil {
+					p.damper.OnWithdraw(from, u.Dst)
+				}
+				p.recompute(u.Dst)
+			}
+		} else {
+			in[u.Dst] = u.Path
+			if had && p.damper != nil {
+				p.damper.OnReannounce(from, u.Dst)
+			}
+			p.recompute(u.Dst)
+		}
+	}
+	p.flushAll()
+}
+
+// LinkDown implements netsim.Protocol: the session resets, discarding
+// everything heard from and advertised to the neighbor.
+func (p *Protocol) LinkDown(neighbor routing.NodeID) {
+	p.up[neighbor] = false
+	lost := p.adjIn[neighbor]
+	p.adjIn[neighbor] = nil
+	p.ribOut[neighbor] = nil
+	p.pending[neighbor] = nil
+	p.deadline[neighbor] = nil
+	if t := p.mrai[neighbor]; t != nil {
+		t.Stop()
+	}
+	if p.damper != nil {
+		p.damper.SessionReset(neighbor)
+	}
+	for _, dst := range sortedKeys(lost) {
+		p.recompute(dst)
+	}
+	p.flushAll()
+}
+
+// LinkUp implements netsim.Protocol: a fresh session; the full table is
+// advertised to the neighbor.
+func (p *Protocol) LinkUp(neighbor routing.NodeID) {
+	p.sessionUp(neighbor)
+	for dst, path := range p.best {
+		if path != nil {
+			p.pending[neighbor][dst] = true
+		}
+	}
+	p.flushAll()
+}
+
+// recompute reruns best-path selection for dst: shortest valid path over
+// all neighbors, ties to the lowest neighbor ID.
+func (p *Protocol) recompute(dst routing.NodeID) {
+	if dst == p.node.ID() {
+		return
+	}
+	var chosen []routing.NodeID
+	for _, n := range p.node.Neighbors() {
+		if !p.up[n] {
+			continue
+		}
+		path, ok := p.adjIn[n][dst]
+		if !ok {
+			continue
+		}
+		if p.damper != nil && p.damper.Suppressed(n, dst) {
+			continue
+		}
+		if chosen == nil || len(path) < len(chosen) {
+			chosen = path
+		}
+	}
+	var newBest []routing.NodeID
+	if chosen != nil {
+		newBest = make([]routing.NodeID, 0, len(chosen)+1)
+		newBest = append(newBest, p.node.ID())
+		newBest = append(newBest, chosen...)
+	}
+	old := p.best[dst]
+	if pathEqual(old, newBest) {
+		return
+	}
+	if newBest == nil {
+		delete(p.best, dst)
+		p.node.ClearRoute(dst)
+	} else {
+		p.best[dst] = newBest
+		p.node.SetRoute(dst, newBest[1])
+	}
+	p.dirty[dst] = true
+}
+
+// flushAll propagates all destinations dirtied by the current event to
+// every up neighbor, then attempts a flush per neighbor.
+func (p *Protocol) flushAll() {
+	if len(p.dirty) > 0 {
+		for _, dst := range sortedSet(p.dirty) {
+			for _, n := range p.node.Neighbors() {
+				if p.up[n] {
+					p.pending[n][dst] = true
+				}
+			}
+		}
+		p.dirty = make(map[routing.NodeID]bool)
+	}
+	for _, n := range p.node.Neighbors() {
+		if p.up[n] {
+			p.flush(n)
+		}
+	}
+}
+
+// flush sends what MRAI currently permits to one neighbor: withdrawals
+// immediately (unless damped), announcements when the per-neighbor timer is
+// idle (or, in per-destination mode, when each destination's deadline has
+// passed).
+func (p *Protocol) flush(n routing.NodeID) {
+	pend := p.pending[n]
+	if len(pend) == 0 {
+		return
+	}
+	now := p.node.Sim().Now()
+	out := p.ribOut[n]
+
+	var withdrawals, announcements []routing.NodeID
+	for _, dst := range sortedSet(pend) {
+		best := p.best[dst]
+		switch {
+		case best == nil && out[dst] == nil:
+			delete(pend, dst) // nothing ever advertised; nothing to say
+		case best == nil:
+			withdrawals = append(withdrawals, dst)
+		case pathEqual(out[dst], best):
+			delete(pend, dst) // already current
+		default:
+			announcements = append(announcements, dst)
+		}
+	}
+
+	if !p.cfg.DampWithdrawals && len(withdrawals) > 0 {
+		p.node.SendControl(n, &Update{Withdrawn: withdrawals})
+		for _, dst := range withdrawals {
+			delete(out, dst)
+			delete(pend, dst)
+		}
+	} else if p.cfg.DampWithdrawals {
+		// Withdrawals queue behind MRAI like announcements.
+		announcements = append(announcements, withdrawals...)
+		sort.Slice(announcements, func(i, j int) bool { return announcements[i] < announcements[j] })
+	}
+
+	if p.cfg.PerDestMRAI {
+		p.flushPerDest(n, announcements, now)
+		return
+	}
+	if p.mrai[n].Pending() || len(announcements) == 0 {
+		return
+	}
+	for _, dst := range announcements {
+		p.advertise(n, dst)
+	}
+	p.mrai[n].Reset(p.mraiInterval())
+}
+
+// flushPerDest sends each announcement whose (neighbor, destination)
+// deadline has passed and re-arms the neighbor timer for the earliest
+// remaining one.
+func (p *Protocol) flushPerDest(n routing.NodeID, announcements []routing.NodeID, now time.Duration) {
+	var earliest time.Duration = -1
+	for _, dst := range announcements {
+		dl := p.deadline[n][dst]
+		if now >= dl {
+			p.advertise(n, dst)
+			p.deadline[n][dst] = now + p.mraiInterval()
+			continue
+		}
+		if earliest < 0 || dl < earliest {
+			earliest = dl
+		}
+	}
+	if earliest >= 0 {
+		t := p.mrai[n]
+		if !t.Pending() || t.Deadline() > earliest {
+			t.Reset(earliest - now)
+		}
+	}
+}
+
+// advertise sends the current state of dst to n and records it in ribOut.
+func (p *Protocol) advertise(n, dst routing.NodeID) {
+	best := p.best[dst]
+	out := p.ribOut[n]
+	if best == nil {
+		p.node.SendControl(n, &Update{Withdrawn: []routing.NodeID{dst}})
+		delete(out, dst)
+	} else {
+		p.node.SendControl(n, &Update{Dst: dst, Path: best})
+		out[dst] = best
+	}
+	delete(p.pending[n], dst)
+}
+
+// mraiInterval draws one jittered MRAI value.
+func (p *Protocol) mraiInterval() time.Duration {
+	lo := p.cfg.MRAI - p.cfg.MRAIJitter
+	if lo < 0 {
+		lo = 0
+	}
+	return p.node.Sim().Jitter(lo, p.cfg.MRAI+p.cfg.MRAIJitter)
+}
+
+func contains(path []routing.NodeID, id routing.NodeID) bool {
+	for _, n := range path {
+		if n == id {
+			return true
+		}
+	}
+	return false
+}
+
+func pathEqual(a, b []routing.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func sortedKeys(m map[routing.NodeID][]routing.NodeID) []routing.NodeID {
+	out := make([]routing.NodeID, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func sortedSet(m map[routing.NodeID]bool) []routing.NodeID {
+	out := make([]routing.NodeID, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,40 @@
+package bgp_test
+
+import (
+	"testing"
+	"time"
+
+	"routeconv/internal/netsim"
+	"routeconv/internal/routing/bgp"
+	"routeconv/internal/routing/conformance"
+)
+
+func TestConformanceBGP3(t *testing.T) {
+	conformance.Run(t, conformance.Params{
+		Name:    "bgp3",
+		Factory: func(n *netsim.Node) netsim.Protocol { return bgp.New(n, bgp.BGP3Config()) },
+		// A handful of 3 s MRAI rounds.
+		Settle: 60 * time.Second,
+	})
+}
+
+func TestConformanceBGPSlowMRAI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("30 s MRAI needs long settling")
+	}
+	conformance.Run(t, conformance.Params{
+		Name:    "bgp",
+		Factory: func(n *netsim.Node) netsim.Protocol { return bgp.New(n, bgp.DefaultConfig()) },
+		Settle:  400 * time.Second,
+	})
+}
+
+func TestConformancePerDestMRAI(t *testing.T) {
+	cfg := bgp.BGP3Config()
+	cfg.PerDestMRAI = true
+	conformance.Run(t, conformance.Params{
+		Name:    "bgp3-perdest",
+		Factory: func(n *netsim.Node) netsim.Protocol { return bgp.New(n, cfg) },
+		Settle:  60 * time.Second,
+	})
+}

@@ -1,0 +1,173 @@
+package bgp
+
+import (
+	"math"
+	"time"
+
+	"routeconv/internal/routing"
+	"routeconv/internal/sim"
+)
+
+// DampingConfig parameterizes RFC 2439 route flap damping, the mechanism
+// the paper's introduction discusses via Bush et al. [4] and Mao et al.
+// [15]: repeated flaps accumulate a penalty per (neighbor, destination);
+// once past the suppress threshold the route is ignored until the penalty
+// decays below the reuse threshold.
+type DampingConfig struct {
+	// WithdrawPenalty is added when the neighbor withdraws the route
+	// (RFC 2439 suggests 1000).
+	WithdrawPenalty float64
+	// ReannouncePenalty is added when the neighbor replaces an existing
+	// announcement (attribute change, 500).
+	ReannouncePenalty float64
+	// SuppressThreshold starts suppression (2000).
+	SuppressThreshold float64
+	// ReuseThreshold ends suppression once the decayed penalty falls below
+	// it (750).
+	ReuseThreshold float64
+	// HalfLife is the exponential decay half-life (RFC default 15 min;
+	// experiments at the paper's 800 s scale use shorter values).
+	HalfLife time.Duration
+}
+
+// DefaultDampingConfig returns the RFC 2439 suggested values.
+func DefaultDampingConfig() DampingConfig {
+	return DampingConfig{
+		WithdrawPenalty:   1000,
+		ReannouncePenalty: 500,
+		SuppressThreshold: 2000,
+		ReuseThreshold:    750,
+		HalfLife:          15 * time.Minute,
+	}
+}
+
+// flapState tracks one (neighbor, destination) flap history.
+type flapState struct {
+	penalty    float64
+	updatedAt  time.Duration
+	suppressed bool
+	reuse      *sim.Event
+}
+
+// damper implements the flap-damping state machine for one BGP speaker.
+type damper struct {
+	cfg DampingConfig
+	sim *sim.Simulator
+	// onReuse is called when a suppressed (neighbor, destination) becomes
+	// usable again so the owner can re-run best-path selection.
+	onReuse func(neighbor, dst routing.NodeID)
+	state   map[routing.NodeID]map[routing.NodeID]*flapState
+}
+
+func newDamper(cfg DampingConfig, s *sim.Simulator, onReuse func(neighbor, dst routing.NodeID)) *damper {
+	return &damper{
+		cfg:     cfg,
+		sim:     s,
+		onReuse: onReuse,
+		state:   make(map[routing.NodeID]map[routing.NodeID]*flapState),
+	}
+}
+
+// decayed returns the penalty decayed to the current time.
+func (d *damper) decayed(st *flapState) float64 {
+	dt := d.sim.Now() - st.updatedAt
+	if dt <= 0 || st.penalty == 0 {
+		return st.penalty
+	}
+	return st.penalty * math.Exp2(-float64(dt)/float64(d.cfg.HalfLife))
+}
+
+func (d *damper) get(neighbor, dst routing.NodeID) *flapState {
+	m := d.state[neighbor]
+	if m == nil {
+		m = make(map[routing.NodeID]*flapState)
+		d.state[neighbor] = m
+	}
+	st := m[dst]
+	if st == nil {
+		st = &flapState{}
+		m[dst] = st
+	}
+	return st
+}
+
+// Suppressed reports whether the (neighbor, destination) route is
+// currently suppressed.
+func (d *damper) Suppressed(neighbor, dst routing.NodeID) bool {
+	m := d.state[neighbor]
+	if m == nil {
+		return false
+	}
+	st := m[dst]
+	return st != nil && st.suppressed
+}
+
+// Penalty returns the current (decayed) penalty; exposed for tests.
+func (d *damper) Penalty(neighbor, dst routing.NodeID) float64 {
+	m := d.state[neighbor]
+	if m == nil {
+		return 0
+	}
+	st := m[dst]
+	if st == nil {
+		return 0
+	}
+	return d.decayed(st)
+}
+
+// OnWithdraw charges the withdrawal penalty. It returns true if the route
+// is suppressed afterwards.
+func (d *damper) OnWithdraw(neighbor, dst routing.NodeID) bool {
+	return d.charge(neighbor, dst, d.cfg.WithdrawPenalty)
+}
+
+// OnReannounce charges the re-announcement penalty (the caller only
+// invokes it when an existing path was replaced).
+func (d *damper) OnReannounce(neighbor, dst routing.NodeID) bool {
+	return d.charge(neighbor, dst, d.cfg.ReannouncePenalty)
+}
+
+func (d *damper) charge(neighbor, dst routing.NodeID, penalty float64) bool {
+	st := d.get(neighbor, dst)
+	st.penalty = d.decayed(st) + penalty
+	st.updatedAt = d.sim.Now()
+	if !st.suppressed && st.penalty >= d.cfg.SuppressThreshold {
+		st.suppressed = true
+		d.scheduleReuse(neighbor, dst, st)
+	} else if st.suppressed {
+		// Penalty grew: push the reuse check out.
+		d.scheduleReuse(neighbor, dst, st)
+	}
+	return st.suppressed
+}
+
+// scheduleReuse (re)schedules the un-suppression check for the exact time
+// the penalty will have decayed to the reuse threshold.
+func (d *damper) scheduleReuse(neighbor, dst routing.NodeID, st *flapState) {
+	st.reuse.Cancel()
+	wait := d.timeToReuse(st.penalty)
+	st.reuse = d.sim.Schedule(wait, func() {
+		st.suppressed = false
+		st.reuse = nil
+		d.onReuse(neighbor, dst)
+	})
+}
+
+// timeToReuse returns how long a fresh penalty takes to decay to the reuse
+// threshold: halfLife * log2(penalty / reuse).
+func (d *damper) timeToReuse(penalty float64) time.Duration {
+	if penalty <= d.cfg.ReuseThreshold {
+		return 0
+	}
+	ratio := penalty / d.cfg.ReuseThreshold
+	return time.Duration(float64(d.cfg.HalfLife) * math.Log2(ratio))
+}
+
+// SessionReset drops all flap history for the neighbor (the session — and
+// with it the damping context — is gone).
+func (d *damper) SessionReset(neighbor routing.NodeID) {
+	for _, st := range d.state[neighbor] {
+		st.reuse.Cancel()
+	}
+	delete(d.state, neighbor)
+}

@@ -1,0 +1,29 @@
+package dbf_test
+
+import (
+	"testing"
+	"time"
+
+	"routeconv/internal/netsim"
+	"routeconv/internal/routing"
+	"routeconv/internal/routing/conformance"
+	"routeconv/internal/routing/dbf"
+)
+
+func TestConformance(t *testing.T) {
+	conformance.Run(t, conformance.Params{
+		Name:    "dbf",
+		Factory: func(n *netsim.Node) netsim.Protocol { return dbf.New(n, routing.DefaultVectorConfig()) },
+		Settle:  150 * time.Second,
+	})
+}
+
+func TestConformanceECMP(t *testing.T) {
+	cfg := routing.DefaultVectorConfig()
+	cfg.ECMP = true
+	conformance.Run(t, conformance.Params{
+		Name:    "dbf-ecmp",
+		Factory: func(n *netsim.Node) netsim.Protocol { return dbf.New(n, cfg) },
+		Settle:  150 * time.Second,
+	})
+}

@@ -1,0 +1,309 @@
+// Package dbf implements the Distributed Bellman-Ford protocol of the
+// paper's §3 (Bertsekas & Gallager): identical to RIP on the wire, but each
+// router additionally caches the latest distance vector heard from every
+// neighbor. When the current next hop is lost, the router recomputes from
+// the cache and switches to an alternate instantly — the zero-time path
+// switch-over of §4.1. Poisoned-reverse entries live in the cache as
+// infinity, so at low node degree the cached alternates may all be invalid,
+// exactly as the paper's degree-4 example describes.
+package dbf
+
+import (
+	"sort"
+	"time"
+
+	"routeconv/internal/netsim"
+	"routeconv/internal/routing"
+	"routeconv/internal/sim"
+)
+
+// housekeepInterval is how often neighbor liveness is scanned.
+const housekeepInterval = time.Second
+
+// best is the computed route for one destination.
+type best struct {
+	metric  int
+	nextHop routing.NodeID
+	changed bool // included in the next triggered update
+}
+
+// Protocol is a DBF speaker bound to one node.
+type Protocol struct {
+	node *netsim.Node
+	cfg  routing.VectorConfig
+	// cache holds, per neighbor, the latest metric heard per destination
+	// (after the neighbor's split-horizon processing).
+	cache     map[routing.NodeID]map[routing.NodeID]int
+	lastHeard map[routing.NodeID]time.Duration
+	table     map[routing.NodeID]*best
+	up        map[routing.NodeID]bool
+	adv       *routing.Advertiser
+	hk        *sim.Timer
+}
+
+var _ netsim.Protocol = (*Protocol)(nil)
+
+// New returns a DBF instance for the node.
+func New(node *netsim.Node, cfg routing.VectorConfig) *Protocol {
+	p := &Protocol{
+		node:      node,
+		cfg:       cfg,
+		cache:     make(map[routing.NodeID]map[routing.NodeID]int),
+		lastHeard: make(map[routing.NodeID]time.Duration),
+		table:     make(map[routing.NodeID]*best),
+		up:        make(map[routing.NodeID]bool),
+	}
+	p.adv = routing.NewAdvertiser(node.Sim(), &p.cfg, p.broadcastFull, p.broadcastChanged)
+	p.hk = sim.NewTimer(node.Sim(), p.housekeep)
+	return p
+}
+
+// Factory returns a constructor suitable for attaching DBF to every node.
+func Factory(cfg routing.VectorConfig) func(*netsim.Node) netsim.Protocol {
+	return func(n *netsim.Node) netsim.Protocol { return New(n, cfg) }
+}
+
+// Table returns the computed metric and next hop for dst. Exposed for
+// tests and tools.
+func (p *Protocol) Table(dst routing.NodeID) (metric int, nextHop routing.NodeID, ok bool) {
+	b, ok := p.table[dst]
+	if !ok {
+		return 0, 0, false
+	}
+	return b.metric, b.nextHop, true
+}
+
+// Start implements netsim.Protocol.
+func (p *Protocol) Start() {
+	self := p.node.ID()
+	p.table[self] = &best{metric: 0, nextHop: self}
+	for _, n := range p.node.Neighbors() {
+		p.up[n] = true
+		p.cache[n] = make(map[routing.NodeID]int)
+	}
+	p.adv.Start()
+	p.hk.Reset(housekeepInterval)
+	p.broadcastFull()
+}
+
+// HandleMessage implements netsim.Protocol.
+func (p *Protocol) HandleMessage(from routing.NodeID, msg netsim.Message) {
+	u, ok := msg.(*routing.VectorUpdate)
+	if !ok {
+		return
+	}
+	c := p.cache[from]
+	if c == nil {
+		c = make(map[routing.NodeID]int)
+		p.cache[from] = c
+	}
+	p.lastHeard[from] = p.node.Sim().Now()
+	changedAny := false
+	for _, e := range u.Entries {
+		m := e.Metric
+		if m > p.cfg.Infinity {
+			m = p.cfg.Infinity
+		}
+		if old, seen := c[e.Dst]; seen && old == m {
+			continue
+		}
+		c[e.Dst] = m
+		if p.recompute(e.Dst) {
+			changedAny = true
+		}
+	}
+	if changedAny {
+		p.adv.RouteChanged()
+	}
+}
+
+// recompute re-runs the Bellman-Ford minimization for dst over all cached
+// neighbor vectors and reports whether the advertised metric changed.
+// The current next hop is preferred among ties so routes do not oscillate.
+func (p *Protocol) recompute(dst routing.NodeID) bool {
+	if dst == p.node.ID() {
+		return false
+	}
+	cur := p.table[dst]
+	bestMetric := p.cfg.Infinity
+	bestNext := routing.NodeID(-1)
+	for _, n := range p.node.Neighbors() {
+		if !p.up[n] {
+			continue
+		}
+		heard, ok := p.cache[n][dst]
+		if !ok {
+			continue
+		}
+		m := heard + 1 // unit link cost
+		if m > p.cfg.Infinity {
+			m = p.cfg.Infinity
+		}
+		if m < bestMetric || (m == bestMetric && cur != nil && n == cur.nextHop) {
+			bestMetric = m
+			bestNext = n
+		}
+	}
+	if p.cfg.ECMP {
+		p.installMultipath(dst, bestMetric)
+	}
+	switch {
+	case bestMetric >= p.cfg.Infinity:
+		if cur == nil || cur.metric >= p.cfg.Infinity {
+			return false
+		}
+		cur.metric = p.cfg.Infinity
+		cur.changed = true
+		p.node.ClearRoute(dst)
+		return true
+
+	case cur == nil:
+		p.table[dst] = &best{metric: bestMetric, nextHop: bestNext, changed: true}
+		p.node.SetRoute(dst, bestNext)
+		return true
+
+	default:
+		metricChanged := cur.metric != bestMetric
+		if cur.nextHop != bestNext || cur.metric >= p.cfg.Infinity {
+			p.node.SetRoute(dst, bestNext)
+		}
+		cur.metric = bestMetric
+		cur.nextHop = bestNext
+		if metricChanged {
+			cur.changed = true
+		}
+		return metricChanged
+	}
+}
+
+// installMultipath installs every up neighbor achieving the minimum metric
+// as the ECMP set for dst (cleared when unreachable or single-path).
+func (p *Protocol) installMultipath(dst routing.NodeID, bestMetric int) {
+	if bestMetric >= p.cfg.Infinity {
+		p.node.SetMultipath(dst, nil)
+		return
+	}
+	var set []routing.NodeID
+	for _, n := range p.node.Neighbors() {
+		if !p.up[n] {
+			continue
+		}
+		if heard, ok := p.cache[n][dst]; ok && heard+1 == bestMetric {
+			set = append(set, n)
+		}
+	}
+	p.node.SetMultipath(dst, set)
+}
+
+// LinkDown implements netsim.Protocol: the neighbor's cached vector is
+// discarded and every destination is recomputed, switching instantly to
+// alternates where the cache holds any.
+func (p *Protocol) LinkDown(neighbor routing.NodeID) {
+	p.up[neighbor] = false
+	delete(p.cache, neighbor)
+	p.recomputeAll()
+}
+
+// LinkUp implements netsim.Protocol.
+func (p *Protocol) LinkUp(neighbor routing.NodeID) {
+	p.up[neighbor] = true
+	p.cache[neighbor] = make(map[routing.NodeID]int)
+	p.sendTable(neighbor, false)
+}
+
+// recomputeAll re-minimizes every known destination.
+func (p *Protocol) recomputeAll() {
+	changedAny := false
+	for _, dst := range p.knownDsts() {
+		if p.recompute(dst) {
+			changedAny = true
+		}
+	}
+	if changedAny {
+		p.adv.RouteChanged()
+	}
+}
+
+// housekeep expires neighbors that have been silent past the timeout.
+func (p *Protocol) housekeep() {
+	now := p.node.Sim().Now()
+	for _, n := range p.node.Neighbors() {
+		if !p.up[n] {
+			continue
+		}
+		heard, ok := p.lastHeard[n]
+		if ok && now-heard > p.cfg.Timeout {
+			p.cache[n] = make(map[routing.NodeID]int)
+			delete(p.lastHeard, n)
+			p.recomputeAll()
+		}
+	}
+	p.hk.Reset(housekeepInterval)
+}
+
+func (p *Protocol) broadcastFull() {
+	for _, n := range p.node.Neighbors() {
+		if p.up[n] {
+			p.sendTable(n, false)
+		}
+	}
+	p.clearChanged()
+}
+
+func (p *Protocol) broadcastChanged() {
+	for _, n := range p.node.Neighbors() {
+		if p.up[n] {
+			p.sendTable(n, true)
+		}
+	}
+	p.clearChanged()
+}
+
+// sendTable composes and transmits update messages to one neighbor with
+// split horizon (poisoned reverse when configured).
+func (p *Protocol) sendTable(to routing.NodeID, changedOnly bool) {
+	var entries []routing.VectorEntry
+	for _, dst := range p.knownDsts() {
+		b := p.table[dst]
+		if b == nil || (changedOnly && !b.changed) {
+			continue
+		}
+		metric := b.metric
+		if b.nextHop == to && dst != p.node.ID() {
+			if !p.cfg.PoisonReverse {
+				continue
+			}
+			metric = p.cfg.Infinity
+		}
+		entries = append(entries, routing.VectorEntry{Dst: dst, Metric: metric})
+	}
+	for _, msg := range p.cfg.PackEntries(entries) {
+		p.node.SendControl(to, msg)
+	}
+}
+
+func (p *Protocol) clearChanged() {
+	for _, b := range p.table {
+		b.changed = false
+	}
+}
+
+// knownDsts returns every destination present in the table or any cache,
+// in ascending order for determinism.
+func (p *Protocol) knownDsts() []routing.NodeID {
+	set := make(map[routing.NodeID]bool, len(p.table))
+	for d := range p.table {
+		set[d] = true
+	}
+	for _, c := range p.cache {
+		for d := range c {
+			set[d] = true
+		}
+	}
+	dsts := make([]routing.NodeID, 0, len(set))
+	for d := range set {
+		dsts = append(dsts, d)
+	}
+	sort.Slice(dsts, func(i, j int) bool { return dsts[i] < dsts[j] })
+	return dsts
+}

@@ -1,0 +1,29 @@
+package ls_test
+
+import (
+	"testing"
+	"time"
+
+	"routeconv/internal/netsim"
+	"routeconv/internal/routing/conformance"
+	"routeconv/internal/routing/ls"
+)
+
+func TestConformance(t *testing.T) {
+	conformance.Run(t, conformance.Params{
+		Name:    "ls",
+		Factory: func(n *netsim.Node) netsim.Protocol { return ls.New(n, ls.DefaultConfig()) },
+		// Link-state floods immediately; seconds suffice.
+		Settle: 5 * time.Second,
+	})
+}
+
+func TestConformanceECMP(t *testing.T) {
+	cfg := ls.DefaultConfig()
+	cfg.ECMP = true
+	conformance.Run(t, conformance.Params{
+		Name:    "ls-ecmp",
+		Factory: func(n *netsim.Node) netsim.Protocol { return ls.New(n, cfg) },
+		Settle:  5 * time.Second,
+	})
+}

@@ -1,0 +1,29 @@
+package ls
+
+import (
+	"testing"
+
+	"routeconv/internal/routing"
+)
+
+// FuzzDecodeFlood checks that the LSA decoder never panics on arbitrary
+// input and that accepted messages round-trip.
+func FuzzDecodeFlood(f *testing.F) {
+	f.Add([]byte{})
+	f.Add((&Flood{LSA: LSA{Origin: 1, Seq: 1}}).Encode())
+	f.Add((&Flood{LSA: LSA{Origin: 3, Seq: 9, Neighbors: []routing.NodeID{1, 2}}}).Encode())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fl, err := DecodeFlood(data)
+		if err != nil {
+			return
+		}
+		again, err := DecodeFlood(fl.Encode())
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if again.LSA.Origin != fl.LSA.Origin || again.LSA.Seq != fl.LSA.Seq ||
+			len(again.LSA.Neighbors) != len(fl.LSA.Neighbors) {
+			t.Fatalf("round trip changed: %+v → %+v", fl.LSA, again.LSA)
+		}
+	})
+}

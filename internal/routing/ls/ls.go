@@ -1,0 +1,252 @@
+// Package ls implements a simple link-state (SPF) routing protocol, the
+// comparison the paper's §6 names as future work: each router floods
+// link-state advertisements describing its adjacencies and computes
+// shortest paths over the resulting map with Dijkstra (BFS, since all links
+// have unit cost).
+//
+// A router keeps the entire topology, so after a detected failure it
+// recomputes immediately — like DBF it has a near-zero path switch-over
+// period, but unlike the vector protocols its alternate is always loop-free
+// with respect to its own map.
+package ls
+
+import (
+	"sort"
+	"time"
+
+	"routeconv/internal/netsim"
+	"routeconv/internal/routing"
+)
+
+// Message size model: flooded in IP (20 bytes), a 24-byte LSA header plus
+// 4 bytes per listed neighbor — matching the encoding in wire.go.
+const (
+	headerBytes   = IPOverhead + lsaHeaderLen
+	neighborBytes = 4
+)
+
+// Config parameterizes the link-state protocol.
+type Config struct {
+	// RefreshInterval re-floods each router's LSA periodically. The study
+	// only needs event-driven flooding; the refresh is a safety net.
+	RefreshInterval time.Duration
+	// ECMP installs every equal-cost first hop instead of a single next
+	// hop; flows are hashed across them (an extension, off by default).
+	ECMP bool
+}
+
+// DefaultConfig returns a 30-minute refresh, effectively event-driven for
+// the paper's 800 s runs.
+func DefaultConfig() Config { return Config{RefreshInterval: 30 * time.Minute} }
+
+// LSA is one router's link-state advertisement.
+type LSA struct {
+	Origin    routing.NodeID
+	Seq       uint64
+	Neighbors []routing.NodeID
+}
+
+// Flood is the message carrying one LSA hop by hop.
+type Flood struct {
+	LSA LSA
+}
+
+// SizeBytes implements netsim.Message.
+func (f *Flood) SizeBytes() int { return headerBytes + neighborBytes*len(f.LSA.Neighbors) }
+
+// Protocol is a link-state speaker bound to one node.
+type Protocol struct {
+	node *netsim.Node
+	cfg  Config
+	db   map[routing.NodeID]LSA
+	up   map[routing.NodeID]bool
+	seq  uint64
+}
+
+var _ netsim.Protocol = (*Protocol)(nil)
+
+// New returns a link-state instance for the node.
+func New(node *netsim.Node, cfg Config) *Protocol {
+	return &Protocol{
+		node: node,
+		cfg:  cfg,
+		db:   make(map[routing.NodeID]LSA),
+		up:   make(map[routing.NodeID]bool),
+	}
+}
+
+// Factory returns a constructor suitable for attaching the protocol to
+// every node.
+func Factory(cfg Config) func(*netsim.Node) netsim.Protocol {
+	return func(n *netsim.Node) netsim.Protocol { return New(n, cfg) }
+}
+
+// Start implements netsim.Protocol.
+func (p *Protocol) Start() {
+	for _, n := range p.node.Neighbors() {
+		p.up[n] = true
+	}
+	p.originate()
+	p.scheduleRefresh()
+}
+
+func (p *Protocol) scheduleRefresh() {
+	if p.cfg.RefreshInterval <= 0 {
+		return
+	}
+	p.node.Sim().Schedule(p.cfg.RefreshInterval, func() {
+		p.originate()
+		p.scheduleRefresh()
+	})
+}
+
+// originate builds this router's LSA from its detected-up adjacencies and
+// floods it.
+func (p *Protocol) originate() {
+	p.seq++
+	var neighbors []routing.NodeID
+	for _, n := range p.node.Neighbors() {
+		if p.up[n] {
+			neighbors = append(neighbors, n)
+		}
+	}
+	lsa := LSA{Origin: p.node.ID(), Seq: p.seq, Neighbors: neighbors}
+	p.db[p.node.ID()] = lsa
+	p.flood(lsa, -1)
+	p.recompute()
+}
+
+// flood forwards an LSA to every up neighbor except the one it came from.
+func (p *Protocol) flood(lsa LSA, except routing.NodeID) {
+	for _, n := range p.node.Neighbors() {
+		if n == except || !p.up[n] {
+			continue
+		}
+		p.node.SendControl(n, &Flood{LSA: lsa})
+	}
+}
+
+// HandleMessage implements netsim.Protocol.
+func (p *Protocol) HandleMessage(from routing.NodeID, msg netsim.Message) {
+	f, ok := msg.(*Flood)
+	if !ok {
+		return
+	}
+	cur, have := p.db[f.LSA.Origin]
+	if have && cur.Seq >= f.LSA.Seq {
+		return // stale or duplicate: stop the flood
+	}
+	p.db[f.LSA.Origin] = f.LSA
+	p.flood(f.LSA, from)
+	p.recompute()
+}
+
+// LinkDown implements netsim.Protocol.
+func (p *Protocol) LinkDown(neighbor routing.NodeID) {
+	p.up[neighbor] = false
+	p.originate()
+}
+
+// LinkUp implements netsim.Protocol: the adjacency re-forms and the
+// database is synchronized to the neighbor.
+func (p *Protocol) LinkUp(neighbor routing.NodeID) {
+	p.up[neighbor] = true
+	for _, origin := range p.sortedOrigins() {
+		p.node.SendControl(neighbor, &Flood{LSA: p.db[origin]})
+	}
+	p.originate()
+}
+
+// recompute runs shortest-path first over the link-state database and
+// installs next hops. An edge is used only when both endpoints advertise
+// it (the two-way check).
+func (p *Protocol) recompute() {
+	self := p.node.ID()
+	adj := make(map[routing.NodeID][]routing.NodeID, len(p.db))
+	for _, origin := range p.sortedOrigins() {
+		lsa := p.db[origin]
+		for _, n := range lsa.Neighbors {
+			if other, ok := p.db[n]; ok && containsID(other.Neighbors, origin) {
+				adj[origin] = append(adj[origin], n)
+			}
+		}
+	}
+	// BFS from self; unit costs make this Dijkstra.
+	dist := map[routing.NodeID]int{self: 0}
+	order := []routing.NodeID{self}
+	queue := []routing.NodeID{self}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range adj[u] {
+			if _, seen := dist[v]; seen {
+				continue
+			}
+			dist[v] = dist[u] + 1
+			order = append(order, v)
+			queue = append(queue, v)
+		}
+	}
+	// Resolve every equal-cost first hop in (distance, ID) order so each
+	// node's set is complete before its children consult it.
+	sort.Slice(order, func(i, j int) bool {
+		if dist[order[i]] != dist[order[j]] {
+			return dist[order[i]] < dist[order[j]]
+		}
+		return order[i] < order[j]
+	})
+	firstHops := make(map[routing.NodeID][]routing.NodeID, len(order))
+	for _, v := range order {
+		if v == self {
+			continue
+		}
+		set := make(map[routing.NodeID]bool)
+		for _, u := range adj[v] { // adj is symmetric (two-way check)
+			if dist2, ok := dist[u]; !ok || dist2 != dist[v]-1 {
+				continue
+			}
+			if u == self {
+				set[v] = true
+				continue
+			}
+			for _, h := range firstHops[u] {
+				set[h] = true
+			}
+		}
+		hops := make([]routing.NodeID, 0, len(set))
+		for h := range set {
+			hops = append(hops, h)
+		}
+		sort.Slice(hops, func(i, j int) bool { return hops[i] < hops[j] })
+		firstHops[v] = hops
+		p.node.SetRoute(v, hops[0])
+		if p.cfg.ECMP {
+			p.node.SetMultipath(v, hops)
+		}
+	}
+	// Destinations in the database but unreachable lose their routes.
+	for _, origin := range p.sortedOrigins() {
+		if _, ok := dist[origin]; !ok {
+			p.node.ClearRoute(origin)
+			p.node.SetMultipath(origin, nil)
+		}
+	}
+}
+
+func (p *Protocol) sortedOrigins() []routing.NodeID {
+	out := make([]routing.NodeID, 0, len(p.db))
+	for o := range p.db {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func containsID(list []routing.NodeID, id routing.NodeID) bool {
+	for _, n := range list {
+		if n == id {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,101 @@
+package ls
+
+import (
+	"testing"
+	"testing/quick"
+
+	"routeconv/internal/routing"
+)
+
+func TestFloodRoundTrip(t *testing.T) {
+	f := &Flood{LSA: LSA{Origin: 12, Seq: 42, Neighbors: []routing.NodeID{1, 5, 48}}}
+	got, err := DecodeFlood(f.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.LSA.Origin != 12 || got.LSA.Seq != 42 {
+		t.Errorf("round trip header = %+v", got.LSA)
+	}
+	if len(got.LSA.Neighbors) != 3 {
+		t.Fatalf("neighbors = %v", got.LSA.Neighbors)
+	}
+	for i, n := range f.LSA.Neighbors {
+		if got.LSA.Neighbors[i] != n {
+			t.Errorf("neighbor %d = %d, want %d", i, got.LSA.Neighbors[i], n)
+		}
+	}
+}
+
+func TestFloodRoundTripEmpty(t *testing.T) {
+	f := &Flood{LSA: LSA{Origin: 3, Seq: 1}}
+	got, err := DecodeFlood(f.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.LSA.Neighbors) != 0 {
+		t.Errorf("neighbors = %v, want none", got.LSA.Neighbors)
+	}
+}
+
+// TestWireSizeModel pins the size model to the encoding: SizeBytes =
+// len(Encode()) + IP overhead.
+func TestWireSizeModel(t *testing.T) {
+	for _, n := range []int{0, 1, 4, 16} {
+		lsa := LSA{Origin: 1, Seq: 7}
+		for i := 0; i < n; i++ {
+			lsa.Neighbors = append(lsa.Neighbors, routing.NodeID(i))
+		}
+		f := &Flood{LSA: lsa}
+		if got, want := f.SizeBytes(), len(f.Encode())+IPOverhead; got != want {
+			t.Errorf("%d neighbors: SizeBytes = %d, encoded+overhead = %d", n, got, want)
+		}
+	}
+}
+
+func TestDecodeFloodErrors(t *testing.T) {
+	good := (&Flood{LSA: LSA{Origin: 1, Seq: 2, Neighbors: []routing.NodeID{3}}}).Encode()
+	badType := append([]byte{}, good...)
+	badType[0] = 9
+	badCount := append([]byte{}, good...)
+	badCount[3] = 7
+	badSum := append([]byte{}, good...)
+	badSum[17] ^= 0xFF
+
+	for name, buf := range map[string][]byte{
+		"too short":    good[:10],
+		"bad type":     badType,
+		"bad count":    badCount,
+		"bad checksum": badSum,
+	} {
+		if _, err := DecodeFlood(buf); err == nil {
+			t.Errorf("%s: decode succeeded", name)
+		}
+	}
+}
+
+// Property: LSAs round-trip losslessly.
+func TestPropertyFloodRoundTrip(t *testing.T) {
+	f := func(origin uint8, seq uint64, neighbors []uint16) bool {
+		lsa := LSA{Origin: routing.NodeID(origin), Seq: seq}
+		for _, n := range neighbors {
+			lsa.Neighbors = append(lsa.Neighbors, routing.NodeID(n))
+		}
+		fl := &Flood{LSA: lsa}
+		got, err := DecodeFlood(fl.Encode())
+		if err != nil {
+			return false
+		}
+		if got.LSA.Origin != lsa.Origin || got.LSA.Seq != lsa.Seq || len(got.LSA.Neighbors) != len(lsa.Neighbors) {
+			return false
+		}
+		for i := range lsa.Neighbors {
+			if got.LSA.Neighbors[i] != lsa.Neighbors[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,20 @@
+package rip_test
+
+import (
+	"testing"
+	"time"
+
+	"routeconv/internal/netsim"
+	"routeconv/internal/routing"
+	"routeconv/internal/routing/conformance"
+	"routeconv/internal/routing/rip"
+)
+
+func TestConformance(t *testing.T) {
+	conformance.Run(t, conformance.Params{
+		Name:    "rip",
+		Factory: func(n *netsim.Node) netsim.Protocol { return rip.New(n, routing.DefaultVectorConfig()) },
+		// RIP needs periodic cycles: several 30 s rounds plus damping.
+		Settle: 150 * time.Second,
+	})
+}

@@ -1,0 +1,279 @@
+// Package rip implements the RIP routing protocol of the paper's §3
+// (RFC 2453 behaviour): periodic full-table updates every 30 s, a 180 s
+// route timeout, split horizon with poisoned reverse, damped triggered
+// updates, and an infinity metric of 16.
+//
+// RIP keeps only the best route per destination and discards reachability
+// information heard from other neighbors, which is what gives it the long
+// path switch-over period of §4.1: after a failure it must wait for a
+// neighbor's next periodic update to learn an alternate path.
+package rip
+
+import (
+	"sort"
+	"time"
+
+	"routeconv/internal/netsim"
+	"routeconv/internal/routing"
+	"routeconv/internal/sim"
+)
+
+// housekeepInterval is how often expired routes are scanned for. The scan
+// is an implementation detail; any value well under the timeout works.
+const housekeepInterval = time.Second
+
+// route is one RIP table entry.
+type route struct {
+	metric  int
+	nextHop routing.NodeID
+	expire  time.Duration // deadline after which the route times out
+	gcAt    time.Duration // when an unreachable route is deleted
+	changed bool          // included in the next triggered update
+}
+
+// Protocol is a RIP speaker bound to one node.
+type Protocol struct {
+	node  *netsim.Node
+	cfg   routing.VectorConfig
+	table map[routing.NodeID]*route
+	up    map[routing.NodeID]bool
+	adv   *routing.Advertiser
+	hk    *sim.Timer
+}
+
+var _ netsim.Protocol = (*Protocol)(nil)
+
+// New returns a RIP instance for the node. It must be attached with
+// node.AttachProtocol before the network starts.
+func New(node *netsim.Node, cfg routing.VectorConfig) *Protocol {
+	p := &Protocol{
+		node:  node,
+		cfg:   cfg,
+		table: make(map[routing.NodeID]*route),
+		up:    make(map[routing.NodeID]bool),
+	}
+	p.adv = routing.NewAdvertiser(node.Sim(), &p.cfg, p.broadcastFull, p.broadcastChanged)
+	p.hk = sim.NewTimer(node.Sim(), p.housekeep)
+	return p
+}
+
+// Factory returns a constructor suitable for attaching RIP to every node of
+// a network.
+func Factory(cfg routing.VectorConfig) func(*netsim.Node) netsim.Protocol {
+	return func(n *netsim.Node) netsim.Protocol { return New(n, cfg) }
+}
+
+// Table returns the current metric and next hop for dst, with ok reporting
+// whether a route (reachable or not) exists. Exposed for tests and tools.
+func (p *Protocol) Table(dst routing.NodeID) (metric int, nextHop routing.NodeID, ok bool) {
+	rt, ok := p.table[dst]
+	if !ok {
+		return 0, 0, false
+	}
+	return rt.metric, rt.nextHop, true
+}
+
+// Start implements netsim.Protocol.
+func (p *Protocol) Start() {
+	self := p.node.ID()
+	p.table[self] = &route{metric: 0, nextHop: self}
+	for _, n := range p.node.Neighbors() {
+		p.up[n] = true
+	}
+	p.adv.Start()
+	p.hk.Reset(housekeepInterval)
+	// Announce ourselves right away so the network learns new attachments
+	// without waiting a full period.
+	p.broadcastFull()
+}
+
+// HandleMessage implements netsim.Protocol.
+func (p *Protocol) HandleMessage(from routing.NodeID, msg netsim.Message) {
+	u, ok := msg.(*routing.VectorUpdate)
+	if !ok {
+		return // not a RIP message; ignore
+	}
+	now := p.node.Sim().Now()
+	changedAny := false
+	for _, e := range u.Entries {
+		if p.processEntry(from, e, now) {
+			changedAny = true
+		}
+	}
+	if changedAny {
+		p.adv.RouteChanged()
+	}
+}
+
+// processEntry applies one received (dst, metric) pair per RFC 2453 §3.9.2
+// and reports whether the route changed.
+func (p *Protocol) processEntry(from routing.NodeID, e routing.VectorEntry, now time.Duration) bool {
+	if e.Dst == p.node.ID() {
+		return false
+	}
+	metric := e.Metric + 1 // link cost is 1 everywhere in the study
+	if metric > p.cfg.Infinity {
+		metric = p.cfg.Infinity
+	}
+	rt := p.table[e.Dst]
+	switch {
+	case rt == nil:
+		if metric >= p.cfg.Infinity {
+			return false
+		}
+		p.table[e.Dst] = &route{metric: metric, nextHop: from, expire: now + p.cfg.Timeout, changed: true}
+		p.node.SetRoute(e.Dst, from)
+		return true
+
+	case from == rt.nextHop:
+		// News from the current next hop is always believed, even if worse.
+		if metric < p.cfg.Infinity {
+			rt.expire = now + p.cfg.Timeout
+		}
+		if metric == rt.metric {
+			return false
+		}
+		wasReachable := rt.metric < p.cfg.Infinity
+		rt.metric = metric
+		rt.changed = true
+		if metric >= p.cfg.Infinity {
+			if wasReachable {
+				rt.gcAt = now + p.cfg.GCTime
+				p.node.ClearRoute(e.Dst)
+			}
+		} else {
+			rt.gcAt = 0
+			// The route may be coming back from unreachable via the same
+			// next hop; (re)install the forwarding entry either way.
+			p.node.SetRoute(e.Dst, from)
+		}
+		return true
+
+	case metric < rt.metric:
+		rt.metric = metric
+		rt.nextHop = from
+		rt.expire = now + p.cfg.Timeout
+		rt.gcAt = 0
+		rt.changed = true
+		p.node.SetRoute(e.Dst, from)
+		return true
+	}
+	return false
+}
+
+// LinkDown implements netsim.Protocol: every route through the lost
+// neighbor becomes unreachable until some other neighbor advertises an
+// alternative (RIP keeps no alternates — §4.1).
+func (p *Protocol) LinkDown(neighbor routing.NodeID) {
+	p.up[neighbor] = false
+	now := p.node.Sim().Now()
+	changedAny := false
+	for _, dst := range p.sortedDsts() {
+		rt := p.table[dst]
+		if rt.nextHop != neighbor || rt.metric >= p.cfg.Infinity {
+			continue
+		}
+		rt.metric = p.cfg.Infinity
+		rt.gcAt = now + p.cfg.GCTime
+		rt.changed = true
+		p.node.ClearRoute(dst)
+		changedAny = true
+	}
+	if changedAny {
+		p.adv.RouteChanged()
+	}
+}
+
+// LinkUp implements netsim.Protocol: the restored neighbor immediately
+// receives our full table (standing in for RIP's request/response exchange).
+func (p *Protocol) LinkUp(neighbor routing.NodeID) {
+	p.up[neighbor] = true
+	p.sendTable(neighbor, false)
+}
+
+// housekeep expires timed-out routes and garbage-collects dead ones.
+func (p *Protocol) housekeep() {
+	now := p.node.Sim().Now()
+	changedAny := false
+	for _, dst := range p.sortedDsts() {
+		rt := p.table[dst]
+		if dst == p.node.ID() {
+			continue
+		}
+		if rt.metric < p.cfg.Infinity && now >= rt.expire {
+			rt.metric = p.cfg.Infinity
+			rt.gcAt = now + p.cfg.GCTime
+			rt.changed = true
+			p.node.ClearRoute(dst)
+			changedAny = true
+		}
+		if rt.metric >= p.cfg.Infinity && rt.gcAt > 0 && now >= rt.gcAt {
+			delete(p.table, dst)
+		}
+	}
+	if changedAny {
+		p.adv.RouteChanged()
+	}
+	p.hk.Reset(housekeepInterval)
+}
+
+// broadcastFull sends the whole table to every up neighbor.
+func (p *Protocol) broadcastFull() {
+	for _, n := range p.node.Neighbors() {
+		if p.up[n] {
+			p.sendTable(n, false)
+		}
+	}
+	p.clearChanged()
+}
+
+// broadcastChanged sends only routes with the changed flag (a triggered
+// update) to every up neighbor.
+func (p *Protocol) broadcastChanged() {
+	for _, n := range p.node.Neighbors() {
+		if p.up[n] {
+			p.sendTable(n, true)
+		}
+	}
+	p.clearChanged()
+}
+
+// sendTable composes and transmits update messages to one neighbor,
+// applying split horizon (with poisoned reverse when configured).
+func (p *Protocol) sendTable(to routing.NodeID, changedOnly bool) {
+	var entries []routing.VectorEntry
+	for _, dst := range p.sortedDsts() {
+		rt := p.table[dst]
+		if changedOnly && !rt.changed {
+			continue
+		}
+		metric := rt.metric
+		if rt.nextHop == to && dst != p.node.ID() {
+			if !p.cfg.PoisonReverse {
+				continue // plain split horizon: stay silent
+			}
+			metric = p.cfg.Infinity
+		}
+		entries = append(entries, routing.VectorEntry{Dst: dst, Metric: metric})
+	}
+	for _, msg := range p.cfg.PackEntries(entries) {
+		p.node.SendControl(to, msg)
+	}
+}
+
+func (p *Protocol) clearChanged() {
+	for _, rt := range p.table {
+		rt.changed = false
+	}
+}
+
+// sortedDsts returns the table's destinations in ascending order so that
+// behaviour never depends on map iteration order.
+func (p *Protocol) sortedDsts() []routing.NodeID {
+	dsts := make([]routing.NodeID, 0, len(p.table))
+	for d := range p.table {
+		dsts = append(dsts, d)
+	}
+	sort.Slice(dsts, func(i, j int) bool { return dsts[i] < dsts[j] })
+	return dsts
+}

@@ -1,0 +1,171 @@
+// Package routing holds the pieces shared by the study's routing protocols
+// (RIP, DBF, BGP): distance-vector message formats, update packing, the
+// periodic/triggered advertisement machinery with damping, and the
+// configuration knobs the paper's §3 describes.
+package routing
+
+import (
+	"time"
+
+	"routeconv/internal/netsim"
+	"routeconv/internal/sim"
+)
+
+// NodeID aliases the network node identifier.
+type NodeID = netsim.NodeID
+
+// VectorConfig parameterizes the distance-vector protocols (RIP and DBF).
+// The defaults follow RFC 2453 and the paper's §3.
+type VectorConfig struct {
+	// PeriodicInterval is the full-table advertisement period (30 s).
+	PeriodicInterval time.Duration
+	// PeriodicJitter spreads consecutive periodic updates by ± this much to
+	// avoid synchronization.
+	PeriodicJitter time.Duration
+	// Timeout expires a route (RIP) or a neighbor's cached vector (DBF)
+	// that has not been refreshed (180 s).
+	Timeout time.Duration
+	// GCTime keeps an unreachable route advertised at infinity before it
+	// is deleted (120 s).
+	GCTime time.Duration
+	// DampMin and DampMax bound the random triggered-update damping timer
+	// (1–5 s).
+	DampMin, DampMax time.Duration
+	// Infinity is the unreachable metric (16).
+	Infinity int
+	// MaxEntries is the number of route entries per update message (25).
+	MaxEntries int
+	// HeaderBytes and EntryBytes set message sizes: a RIP packet is a
+	// 4-byte header plus 20 bytes per entry, carried in UDP/IP.
+	HeaderBytes, EntryBytes int
+	// TriggeredUpdates enables immediate (damped) updates on route change.
+	// Disabling it is an ablation (§4.3): only periodic updates remain.
+	TriggeredUpdates bool
+	// PoisonReverse enables split horizon with poisoned reverse.
+	// Disabling it is an ablation (§4.2): plain split horizon is used.
+	PoisonReverse bool
+	// ECMP makes DBF install every neighbor achieving the minimum metric
+	// as an equal-cost multipath set (an extension, off by default; RIP
+	// ignores it — it keeps a single route by design).
+	ECMP bool
+}
+
+// DefaultVectorConfig returns the RFC 2453 parameters used in the paper.
+func DefaultVectorConfig() VectorConfig {
+	return VectorConfig{
+		PeriodicInterval: 30 * time.Second,
+		PeriodicJitter:   time.Second,
+		Timeout:          180 * time.Second,
+		GCTime:           120 * time.Second,
+		DampMin:          time.Second,
+		DampMax:          5 * time.Second,
+		Infinity:         16,
+		MaxEntries:       25,
+		HeaderBytes:      32,
+		EntryBytes:       20,
+		TriggeredUpdates: true,
+		PoisonReverse:    true,
+	}
+}
+
+// VectorEntry is one destination/metric pair in a distance-vector update.
+type VectorEntry struct {
+	Dst    NodeID
+	Metric int
+}
+
+// VectorUpdate is a RIP/DBF update message: up to MaxEntries entries.
+type VectorUpdate struct {
+	Entries []VectorEntry
+	header  int
+	entry   int
+}
+
+// SizeBytes implements netsim.Message.
+func (u *VectorUpdate) SizeBytes() int { return u.header + u.entry*len(u.Entries) }
+
+// PackEntries splits entries into update messages holding at most
+// cfg.MaxEntries each.
+func (cfg *VectorConfig) PackEntries(entries []VectorEntry) []*VectorUpdate {
+	var out []*VectorUpdate
+	for len(entries) > 0 {
+		n := cfg.MaxEntries
+		if n > len(entries) {
+			n = len(entries)
+		}
+		out = append(out, &VectorUpdate{
+			Entries: entries[:n:n],
+			header:  cfg.HeaderBytes,
+			entry:   cfg.EntryBytes,
+		})
+		entries = entries[n:]
+	}
+	return out
+}
+
+// Advertiser drives the periodic full-table updates and the damped
+// triggered updates shared by RIP and DBF (§3, §4.3). The owning protocol
+// supplies the two broadcast callbacks.
+type Advertiser struct {
+	cfg  *VectorConfig
+	sim  *sim.Simulator
+	full func() // send the full table to every up neighbor
+	chg  func() // send only changed routes to every up neighbor
+
+	periodic *sim.Timer
+	damp     *sim.Timer
+	pending  bool
+}
+
+// NewAdvertiser returns an Advertiser; full and changed must be non-nil.
+func NewAdvertiser(s *sim.Simulator, cfg *VectorConfig, full, changed func()) *Advertiser {
+	a := &Advertiser{cfg: cfg, sim: s, full: full, chg: changed}
+	a.periodic = sim.NewTimer(s, a.onPeriodic)
+	a.damp = sim.NewTimer(s, a.onDampExpired)
+	return a
+}
+
+// Start schedules the first periodic update at a uniformly random phase
+// within one period, so that routers' periodic announcements are unaligned
+// (as on a real network — this phase is what RIP's recovery time in
+// Figure 3 hinges on).
+func (a *Advertiser) Start() {
+	a.periodic.Reset(a.sim.Jitter(0, a.cfg.PeriodicInterval))
+}
+
+// RouteChanged notes that at least one route changed and schedules a
+// triggered update after the random 1–5 s damping interval; changes
+// arriving while the timer runs coalesce into that one update. This is the
+// paper's damping semantics (§5.3: after a failure, DBF's throughput
+// recovery begins about one second later and completes within the 5 s
+// damping bound — one damped triggered-update hop).
+func (a *Advertiser) RouteChanged() {
+	if !a.cfg.TriggeredUpdates {
+		return
+	}
+	a.pending = true
+	a.damp.ResetIfStopped(a.sim.Jitter(a.cfg.DampMin, a.cfg.DampMax))
+}
+
+func (a *Advertiser) onDampExpired() {
+	if !a.pending {
+		return
+	}
+	a.pending = false
+	a.chg()
+}
+
+func (a *Advertiser) onPeriodic() {
+	a.full()
+	// A full update covers any pending triggered update.
+	a.pending = false
+	next := a.cfg.PeriodicInterval
+	if j := a.cfg.PeriodicJitter; j > 0 {
+		lo := next - j
+		if lo < 0 {
+			lo = 0
+		}
+		next = a.sim.Jitter(lo, next+j)
+	}
+	a.periodic.Reset(next)
+}

@@ -1,0 +1,208 @@
+package routing
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"routeconv/internal/sim"
+)
+
+func TestDefaultVectorConfig(t *testing.T) {
+	cfg := DefaultVectorConfig()
+	if cfg.PeriodicInterval != 30*time.Second {
+		t.Errorf("PeriodicInterval = %v, want 30s", cfg.PeriodicInterval)
+	}
+	if cfg.Timeout != 180*time.Second {
+		t.Errorf("Timeout = %v, want 180s", cfg.Timeout)
+	}
+	if cfg.Infinity != 16 {
+		t.Errorf("Infinity = %d, want 16", cfg.Infinity)
+	}
+	if cfg.MaxEntries != 25 {
+		t.Errorf("MaxEntries = %d, want 25", cfg.MaxEntries)
+	}
+	if !cfg.TriggeredUpdates || !cfg.PoisonReverse {
+		t.Error("triggered updates and poison reverse should default on")
+	}
+}
+
+func TestPackEntries(t *testing.T) {
+	cfg := DefaultVectorConfig()
+	entries := make([]VectorEntry, 60)
+	for i := range entries {
+		entries[i] = VectorEntry{Dst: NodeID(i), Metric: i % 16}
+	}
+	msgs := cfg.PackEntries(entries)
+	if len(msgs) != 3 {
+		t.Fatalf("60 entries packed into %d messages, want 3 (25+25+10)", len(msgs))
+	}
+	if len(msgs[0].Entries) != 25 || len(msgs[1].Entries) != 25 || len(msgs[2].Entries) != 10 {
+		t.Errorf("message sizes = %d, %d, %d", len(msgs[0].Entries), len(msgs[1].Entries), len(msgs[2].Entries))
+	}
+	if got := msgs[0].SizeBytes(); got != 32+25*20 {
+		t.Errorf("full message SizeBytes = %d, want %d", got, 32+25*20)
+	}
+	// Entries preserved in order across messages.
+	i := 0
+	for _, m := range msgs {
+		for _, e := range m.Entries {
+			if e.Dst != NodeID(i) {
+				t.Fatalf("entry %d has dst %d", i, e.Dst)
+			}
+			i++
+		}
+	}
+}
+
+func TestPackEntriesEmpty(t *testing.T) {
+	cfg := DefaultVectorConfig()
+	if msgs := cfg.PackEntries(nil); msgs != nil {
+		t.Errorf("PackEntries(nil) = %v, want nil", msgs)
+	}
+}
+
+// Property: packing n entries yields ceil(n/25) messages and preserves
+// every entry exactly once.
+func TestPropertyPackEntries(t *testing.T) {
+	cfg := DefaultVectorConfig()
+	f := func(n uint8) bool {
+		entries := make([]VectorEntry, n)
+		for i := range entries {
+			entries[i] = VectorEntry{Dst: NodeID(i)}
+		}
+		msgs := cfg.PackEntries(entries)
+		wantMsgs := (int(n) + cfg.MaxEntries - 1) / cfg.MaxEntries
+		if len(msgs) != wantMsgs {
+			return false
+		}
+		total := 0
+		for _, m := range msgs {
+			if len(m.Entries) > cfg.MaxEntries {
+				return false
+			}
+			total += len(m.Entries)
+		}
+		return total == int(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAdvertiserTriggeredIsDamped(t *testing.T) {
+	s := sim.New(1)
+	cfg := DefaultVectorConfig()
+	var chgCalls []time.Duration
+	a := NewAdvertiser(s, &cfg, func() {}, func() { chgCalls = append(chgCalls, s.Now()) })
+	s.Schedule(10*time.Second, a.RouteChanged)
+	s.RunUntil(30 * time.Second)
+	if len(chgCalls) != 1 {
+		t.Fatalf("got %d triggered updates, want 1", len(chgCalls))
+	}
+	delay := chgCalls[0] - 10*time.Second
+	if delay < cfg.DampMin || delay > cfg.DampMax {
+		t.Errorf("triggered update delayed %v, want within [%v, %v]", delay, cfg.DampMin, cfg.DampMax)
+	}
+}
+
+func TestAdvertiserDampingCoalesces(t *testing.T) {
+	s := sim.New(1)
+	cfg := DefaultVectorConfig()
+	var chgCalls []time.Duration
+	a := NewAdvertiser(s, &cfg, func() {}, func() { chgCalls = append(chgCalls, s.Now()) })
+	// A burst of changes within the damping window yields one update.
+	s.Schedule(0, a.RouteChanged)
+	s.Schedule(10*time.Millisecond, a.RouteChanged)
+	s.Schedule(20*time.Millisecond, a.RouteChanged)
+	s.RunUntil(20 * time.Second)
+	if len(chgCalls) != 1 {
+		t.Fatalf("got %d triggered updates, want 1 (burst coalesces)", len(chgCalls))
+	}
+}
+
+func TestAdvertiserConsecutiveUpdatesSpaced(t *testing.T) {
+	s := sim.New(1)
+	cfg := DefaultVectorConfig()
+	var chgCalls []time.Duration
+	a := NewAdvertiser(s, &cfg, func() {}, func() { chgCalls = append(chgCalls, s.Now()) })
+	// Changes 6 s apart (wider than the damping window) yield two updates
+	// spaced at least DampMin apart.
+	s.Schedule(0, a.RouteChanged)
+	s.Schedule(6*time.Second, a.RouteChanged)
+	s.RunUntil(30 * time.Second)
+	if len(chgCalls) != 2 {
+		t.Fatalf("got %d triggered updates, want 2", len(chgCalls))
+	}
+	if gap := chgCalls[1] - chgCalls[0]; gap < cfg.DampMin {
+		t.Errorf("updates %v apart, want ≥ %v", gap, cfg.DampMin)
+	}
+}
+
+func TestAdvertiserNoPendingNoSend(t *testing.T) {
+	s := sim.New(1)
+	cfg := DefaultVectorConfig()
+	count := 0
+	a := NewAdvertiser(s, &cfg, func() {}, func() { count++ })
+	a.RouteChanged()
+	s.RunUntil(25 * time.Second)
+	if count != 1 {
+		t.Errorf("triggered updates = %d, want exactly 1", count)
+	}
+}
+
+func TestAdvertiserTriggeredDisabled(t *testing.T) {
+	s := sim.New(1)
+	cfg := DefaultVectorConfig()
+	cfg.TriggeredUpdates = false
+	count := 0
+	a := NewAdvertiser(s, &cfg, func() {}, func() { count++ })
+	a.RouteChanged()
+	s.RunUntil(10 * time.Second)
+	if count != 0 {
+		t.Errorf("triggered updates = %d with TriggeredUpdates=false, want 0", count)
+	}
+}
+
+func TestAdvertiserPeriodic(t *testing.T) {
+	s := sim.New(7)
+	cfg := DefaultVectorConfig()
+	var fullCalls []time.Duration
+	a := NewAdvertiser(s, &cfg, func() { fullCalls = append(fullCalls, s.Now()) }, func() {})
+	a.Start()
+	s.RunUntil(5 * time.Minute)
+	if len(fullCalls) < 8 || len(fullCalls) > 12 {
+		t.Fatalf("got %d periodic updates in 5 min, want ≈10", len(fullCalls))
+	}
+	if fullCalls[0] > cfg.PeriodicInterval {
+		t.Errorf("first periodic at %v, want within one interval", fullCalls[0])
+	}
+	for i := 1; i < len(fullCalls); i++ {
+		gap := fullCalls[i] - fullCalls[i-1]
+		lo := cfg.PeriodicInterval - cfg.PeriodicJitter
+		hi := cfg.PeriodicInterval + cfg.PeriodicJitter
+		if gap < lo || gap > hi {
+			t.Errorf("periodic gap %v outside [%v, %v]", gap, lo, hi)
+		}
+	}
+}
+
+func TestAdvertiserPeriodicCoversPending(t *testing.T) {
+	s := sim.New(1)
+	cfg := DefaultVectorConfig()
+	cfg.DampMin, cfg.DampMax = 40*time.Second, 50*time.Second // damp longer than a period
+	full, chg := 0, 0
+	a := NewAdvertiser(s, &cfg, func() { full++ }, func() { chg++ })
+	a.Start()
+	a.RouteChanged() // damping armed for 40-50 s
+	a.RouteChanged() // coalesces
+	s.RunUntil(60 * time.Second)
+	// The periodic full update (≤31 s) covers the pending change, so the
+	// damping expiry must not send a triggered update at all.
+	if chg != 0 {
+		t.Errorf("triggered updates = %d, want 0 (periodic covered the pending change)", chg)
+	}
+	if full < 1 {
+		t.Error("no periodic update fired")
+	}
+}

@@ -1,0 +1,381 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	s := New(1)
+	var got []int
+	s.Schedule(3*time.Second, func() { got = append(got, 3) })
+	s.Schedule(1*time.Second, func() { got = append(got, 1) })
+	s.Schedule(2*time.Second, func() { got = append(got, 2) })
+	s.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if s.Now() != 3*time.Second {
+		t.Errorf("Now() = %v, want 3s", s.Now())
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	s := New(1)
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		s.Schedule(time.Second, func() { got = append(got, i) })
+	}
+	s.Run()
+	if len(got) != 100 {
+		t.Fatalf("fired %d events, want 100", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events fired out of order at %d: got %d", i, v)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := New(1)
+	fired := false
+	e := s.Schedule(time.Second, func() { fired = true })
+	e.Cancel()
+	s.Run()
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	if !e.Cancelled() {
+		t.Error("Cancelled() = false after Cancel")
+	}
+}
+
+func TestCancelIsIdempotent(t *testing.T) {
+	s := New(1)
+	e := s.Schedule(time.Second, func() {})
+	e.Cancel()
+	e.Cancel()
+	s.Run()
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := New(1)
+	var times []time.Duration
+	s.Schedule(time.Second, func() {
+		times = append(times, s.Now())
+		s.Schedule(time.Second, func() {
+			times = append(times, s.Now())
+		})
+	})
+	s.Run()
+	if len(times) != 2 || times[0] != time.Second || times[1] != 2*time.Second {
+		t.Fatalf("times = %v", times)
+	}
+}
+
+func TestScheduleZeroDelay(t *testing.T) {
+	s := New(1)
+	var order []string
+	s.Schedule(0, func() {
+		order = append(order, "outer")
+		s.Schedule(0, func() { order = append(order, "inner") })
+	})
+	s.Run()
+	if len(order) != 2 || order[0] != "outer" || order[1] != "inner" {
+		t.Fatalf("order = %v", order)
+	}
+	if s.Now() != 0 {
+		t.Errorf("Now() = %v, want 0", s.Now())
+	}
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Schedule(-1) did not panic")
+		}
+	}()
+	New(1).Schedule(-time.Second, func() {})
+}
+
+func TestScheduleAtPastPanics(t *testing.T) {
+	s := New(1)
+	s.Schedule(time.Second, func() {})
+	s.Run()
+	defer func() {
+		if recover() == nil {
+			t.Error("ScheduleAt(past) did not panic")
+		}
+	}()
+	s.ScheduleAt(time.Millisecond, func() {})
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New(1)
+	var fired []time.Duration
+	for _, d := range []time.Duration{time.Second, 2 * time.Second, 3 * time.Second} {
+		d := d
+		s.Schedule(d, func() { fired = append(fired, d) })
+	}
+	s.RunUntil(2 * time.Second)
+	if len(fired) != 2 {
+		t.Fatalf("fired %d events, want 2 (boundary event must fire)", len(fired))
+	}
+	if s.Now() != 2*time.Second {
+		t.Errorf("Now() = %v, want 2s", s.Now())
+	}
+	s.RunUntil(10 * time.Second)
+	if len(fired) != 3 {
+		t.Fatalf("fired %d events, want 3", len(fired))
+	}
+	if s.Now() != 10*time.Second {
+		t.Errorf("Now() = %v, want clock advanced to 10s", s.Now())
+	}
+}
+
+func TestFiredAndPending(t *testing.T) {
+	s := New(1)
+	s.Schedule(time.Second, func() {})
+	s.Schedule(2*time.Second, func() {})
+	if s.Pending() != 2 {
+		t.Errorf("Pending() = %d, want 2", s.Pending())
+	}
+	s.Run()
+	if s.Fired() != 2 {
+		t.Errorf("Fired() = %d, want 2", s.Fired())
+	}
+	if s.Pending() != 0 {
+		t.Errorf("Pending() = %d, want 0", s.Pending())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func(seed int64) []time.Duration {
+		s := New(seed)
+		var fired []time.Duration
+		var spawn func()
+		spawn = func() {
+			fired = append(fired, s.Now())
+			if len(fired) < 50 {
+				s.Schedule(time.Duration(s.Rand().Int63n(int64(time.Second))), spawn)
+			}
+		}
+		s.Schedule(0, spawn)
+		s.Run()
+		return fired
+	}
+	a, b := run(42), run(42)
+	if len(a) != len(b) {
+		t.Fatalf("runs differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// Property: events always fire in nondecreasing time order regardless of
+// insertion order.
+func TestPropertyEventOrder(t *testing.T) {
+	f := func(delays []uint32) bool {
+		if len(delays) > 500 {
+			delays = delays[:500]
+		}
+		s := New(7)
+		var fired []time.Duration
+		for _, d := range delays {
+			s.Schedule(time.Duration(d), func() { fired = append(fired, s.Now()) })
+		}
+		s.Run()
+		if len(fired) != len(delays) {
+			return false
+		}
+		if !sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] }) {
+			return false
+		}
+		want := make([]time.Duration, len(delays))
+		for i, d := range delays {
+			want[i] = time.Duration(d)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := range want {
+			if fired[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: cancelling a random subset fires exactly the complement.
+func TestPropertyCancelSubset(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		s := New(1)
+		rng := rand.New(rand.NewSource(seed))
+		fired := make(map[int]bool)
+		events := make([]*Event, n)
+		cancelled := make(map[int]bool)
+		for i := 0; i < int(n); i++ {
+			i := i
+			events[i] = s.Schedule(time.Duration(rng.Int63n(1000)), func() { fired[i] = true })
+		}
+		for i := 0; i < int(n); i++ {
+			if rng.Intn(2) == 0 {
+				events[i].Cancel()
+				cancelled[i] = true
+			}
+		}
+		s.Run()
+		for i := 0; i < int(n); i++ {
+			if fired[i] == cancelled[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTimerReset(t *testing.T) {
+	s := New(1)
+	count := 0
+	timer := NewTimer(s, func() { count++ })
+	timer.Reset(time.Second)
+	timer.Reset(2 * time.Second) // supersedes the first arming
+	s.Run()
+	if count != 1 {
+		t.Fatalf("timer fired %d times, want 1", count)
+	}
+	if s.Now() != 2*time.Second {
+		t.Errorf("fired at %v, want 2s", s.Now())
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	s := New(1)
+	count := 0
+	timer := NewTimer(s, func() { count++ })
+	timer.Reset(time.Second)
+	timer.Stop()
+	timer.Stop() // idempotent
+	s.Run()
+	if count != 0 {
+		t.Errorf("stopped timer fired %d times", count)
+	}
+	if timer.Pending() {
+		t.Error("Pending() = true after Stop")
+	}
+}
+
+func TestTimerResetIfStopped(t *testing.T) {
+	s := New(1)
+	count := 0
+	timer := NewTimer(s, func() { count++ })
+	if !timer.ResetIfStopped(time.Second) {
+		t.Fatal("first ResetIfStopped returned false")
+	}
+	if timer.ResetIfStopped(5 * time.Second) {
+		t.Fatal("second ResetIfStopped armed a pending timer")
+	}
+	s.Run()
+	if count != 1 || s.Now() != time.Second {
+		t.Fatalf("count=%d now=%v, want 1 fire at 1s", count, s.Now())
+	}
+	// After firing, the timer can be armed again.
+	if !timer.ResetIfStopped(time.Second) {
+		t.Fatal("ResetIfStopped after fire returned false")
+	}
+	s.Run()
+	if count != 2 {
+		t.Fatalf("count=%d, want 2", count)
+	}
+}
+
+func TestTimerPendingAndDeadline(t *testing.T) {
+	s := New(1)
+	timer := NewTimer(s, func() {})
+	if timer.Pending() {
+		t.Error("new timer is pending")
+	}
+	timer.Reset(3 * time.Second)
+	if !timer.Pending() {
+		t.Error("armed timer not pending")
+	}
+	if timer.Deadline() != 3*time.Second {
+		t.Errorf("Deadline() = %v, want 3s", timer.Deadline())
+	}
+	s.Run()
+	if timer.Pending() {
+		t.Error("fired timer still pending")
+	}
+}
+
+func TestJitter(t *testing.T) {
+	s := New(99)
+	lo, hi := time.Second, 5*time.Second
+	for i := 0; i < 1000; i++ {
+		j := s.Jitter(lo, hi)
+		if j < lo || j > hi {
+			t.Fatalf("Jitter out of range: %v", j)
+		}
+	}
+	if s.Jitter(lo, lo) != lo {
+		t.Error("degenerate jitter interval should return lo")
+	}
+}
+
+func TestJitterInvertedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Jitter(hi, lo) did not panic")
+		}
+	}()
+	New(1).Jitter(2*time.Second, time.Second)
+}
+
+func TestStepReturnsFalseWhenEmpty(t *testing.T) {
+	s := New(1)
+	if s.Step() {
+		t.Error("Step on empty queue returned true")
+	}
+}
+
+func TestNewTimerNilFnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewTimer(nil) did not panic")
+		}
+	}()
+	NewTimer(New(1), nil)
+}
+
+func TestScheduleNilFnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Schedule(nil fn) did not panic")
+		}
+	}()
+	New(1).Schedule(time.Second, nil)
+}
+
+func TestEventTimeAccessor(t *testing.T) {
+	s := New(1)
+	e := s.Schedule(3*time.Second, func() {})
+	if e.Time() != 3*time.Second {
+		t.Errorf("Time() = %v, want 3s", e.Time())
+	}
+}

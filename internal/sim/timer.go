@@ -1,0 +1,74 @@
+package sim
+
+import "time"
+
+// Timer is a restartable one-shot timer bound to a Simulator, analogous to
+// time.Timer but in virtual time. The zero value is not usable; create one
+// with NewTimer.
+type Timer struct {
+	sim   *Simulator
+	fn    func()
+	event *Event
+}
+
+// NewTimer returns a stopped timer that will run fn when it fires.
+func NewTimer(s *Simulator, fn func()) *Timer {
+	if fn == nil {
+		panic("sim: nil timer function")
+	}
+	return &Timer{sim: s, fn: fn}
+}
+
+// Reset (re)arms the timer to fire after d. Any previously pending firing is
+// cancelled first.
+func (t *Timer) Reset(d time.Duration) {
+	t.Stop()
+	t.event = t.sim.Schedule(d, t.fire)
+}
+
+// ResetIfStopped arms the timer to fire after d only if it is not already
+// pending. It reports whether the timer was armed by this call.
+func (t *Timer) ResetIfStopped(d time.Duration) bool {
+	if t.Pending() {
+		return false
+	}
+	t.event = t.sim.Schedule(d, t.fire)
+	return true
+}
+
+// Stop cancels any pending firing. It is safe to call on a stopped timer.
+func (t *Timer) Stop() {
+	if t.event != nil {
+		t.event.Cancel()
+		t.event = nil
+	}
+}
+
+// Pending reports whether the timer is armed and has not yet fired.
+func (t *Timer) Pending() bool { return t.event != nil && !t.event.Cancelled() }
+
+// Deadline returns the virtual time of the pending firing. It is only
+// meaningful when Pending reports true.
+func (t *Timer) Deadline() time.Duration {
+	if t.event == nil {
+		return 0
+	}
+	return t.event.Time()
+}
+
+func (t *Timer) fire() {
+	t.event = nil
+	t.fn()
+}
+
+// Jitter returns a duration drawn uniformly from [lo, hi] using the
+// simulator's random source. It panics if hi < lo.
+func (s *Simulator) Jitter(lo, hi time.Duration) time.Duration {
+	if hi < lo {
+		panic("sim: jitter interval inverted")
+	}
+	if hi == lo {
+		return lo
+	}
+	return lo + time.Duration(s.rng.Int63n(int64(hi-lo)+1))
+}

@@ -1,0 +1,172 @@
+// Package stats provides the small statistics toolkit the experiment
+// harness uses: summary statistics, per-second time-series binning for the
+// instantaneous throughput and delay figures, and table rendering.
+package stats
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// Summary holds basic descriptive statistics of a sample.
+type Summary struct {
+	N         int
+	Mean, Std float64
+	Min, Max  float64
+	Median    float64
+}
+
+// Summarize computes descriptive statistics. An empty sample yields the
+// zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	if len(xs) > 1 {
+		s.Std = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	s.Median = Percentile(xs, 50)
+	return s
+}
+
+// Percentile returns the p-th percentile (0–100) of xs using linear
+// interpolation. It returns 0 for an empty sample.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Mean returns the arithmetic mean, or 0 for an empty sample.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Sample is one timestamped observation.
+type Sample struct {
+	At    time.Duration
+	Value float64
+}
+
+// BinCounts buckets samples into consecutive width-wide bins starting at
+// origin and returns the number of samples per bin, producing nBins bins.
+// Samples outside [origin, origin+nBins*width) are ignored. This yields the
+// paper's instantaneous throughput (packets per second with width = 1 s).
+func BinCounts(samples []Sample, origin time.Duration, width time.Duration, nBins int) []float64 {
+	out := make([]float64, nBins)
+	for _, s := range samples {
+		i := binIndex(s.At, origin, width, nBins)
+		if i >= 0 {
+			out[i]++
+		}
+	}
+	return out
+}
+
+// BinMeans buckets samples as BinCounts does and returns the mean Value per
+// bin; empty bins are NaN so that averaging across trials can skip them.
+// This yields the paper's instantaneous packet delay.
+func BinMeans(samples []Sample, origin time.Duration, width time.Duration, nBins int) []float64 {
+	sums := make([]float64, nBins)
+	counts := make([]int, nBins)
+	for _, s := range samples {
+		i := binIndex(s.At, origin, width, nBins)
+		if i >= 0 {
+			sums[i] += s.Value
+			counts[i]++
+		}
+	}
+	out := make([]float64, nBins)
+	for i := range out {
+		if counts[i] == 0 {
+			out[i] = math.NaN()
+		} else {
+			out[i] = sums[i] / float64(counts[i])
+		}
+	}
+	return out
+}
+
+func binIndex(at, origin, width time.Duration, nBins int) int {
+	if at < origin || width <= 0 {
+		return -1
+	}
+	i := int((at - origin) / width)
+	if i >= nBins {
+		return -1
+	}
+	return i
+}
+
+// AverageSeries averages several equal-length series elementwise, skipping
+// NaN entries; a position that is NaN in every series stays NaN. It panics
+// if the series lengths differ (a harness bug).
+func AverageSeries(series [][]float64) []float64 {
+	if len(series) == 0 {
+		return nil
+	}
+	n := len(series[0])
+	for _, s := range series {
+		if len(s) != n {
+			panic("stats: AverageSeries length mismatch")
+		}
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sum, cnt := 0.0, 0
+		for _, s := range series {
+			if !math.IsNaN(s[i]) {
+				sum += s[i]
+				cnt++
+			}
+		}
+		if cnt == 0 {
+			out[i] = math.NaN()
+		} else {
+			out[i] = sum / float64(cnt)
+		}
+	}
+	return out
+}

@@ -1,0 +1,71 @@
+package topology
+
+import "math/rand"
+
+// Torus returns a rows×cols lattice with wrap-around edges in both
+// dimensions: every node has degree exactly 4 with no border effects.
+func Torus(rows, cols int) *Graph {
+	g := NewGraph(rows * cols)
+	id := func(r, c int) NodeID {
+		return NodeID(((r+rows)%rows)*cols + (c+cols)%cols)
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			g.AddEdge(id(r, c), id(r, c+1))
+			g.AddEdge(id(r, c), id(r+1, c))
+		}
+	}
+	return g
+}
+
+// Hypercube returns the dim-dimensional hypercube: 2^dim nodes, each of
+// degree dim, diameter dim.
+func Hypercube(dim int) *Graph {
+	n := 1 << dim
+	g := NewGraph(n)
+	for v := 0; v < n; v++ {
+		for b := 0; b < dim; b++ {
+			u := v ^ (1 << b)
+			if u > v {
+				g.AddEdge(NodeID(v), NodeID(u))
+			}
+		}
+	}
+	return g
+}
+
+// SmallWorld returns a Watts–Strogatz small-world graph: a ring lattice
+// where every node connects to its k nearest neighbors on each side, with
+// each edge rewired to a random endpoint with probability beta. The result
+// is kept connected by never removing the immediate ring edges.
+func SmallWorld(n, k int, beta float64, seed int64) *Graph {
+	if k < 1 {
+		k = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := NewGraph(n)
+	// Immediate ring: guarantees connectivity.
+	for i := 0; i < n; i++ {
+		g.AddEdge(NodeID(i), NodeID((i+1)%n))
+	}
+	// Longer lattice chords, each rewired with probability beta.
+	for dist := 2; dist <= k; dist++ {
+		for i := 0; i < n; i++ {
+			j := (i + dist) % n
+			if rng.Float64() < beta {
+				// Rewire: pick a random non-self, non-duplicate target.
+				for tries := 0; tries < 8; tries++ {
+					cand := NodeID(rng.Intn(n))
+					if int(cand) != i && !g.HasEdge(NodeID(i), cand) {
+						j = int(cand)
+						break
+					}
+				}
+			}
+			if i != j && !g.HasEdge(NodeID(i), NodeID(j)) {
+				g.AddEdge(NodeID(i), NodeID(j))
+			}
+		}
+	}
+	return g
+}

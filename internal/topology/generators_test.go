@@ -1,0 +1,127 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTorus(t *testing.T) {
+	g := Torus(4, 5)
+	if g.Len() != 20 {
+		t.Fatalf("Len = %d, want 20", g.Len())
+	}
+	if g.NumEdges() != 40 {
+		t.Errorf("edges = %d, want 2·rows·cols = 40", g.NumEdges())
+	}
+	for i := 0; i < g.Len(); i++ {
+		if d := g.Degree(NodeID(i)); d != 4 {
+			t.Errorf("node %d degree = %d, want 4 (no borders on a torus)", i, d)
+		}
+	}
+	if !g.Connected() {
+		t.Error("torus disconnected")
+	}
+	// Wrap-around edges exist.
+	if !g.HasEdge(0, 4) { // row 0: col 0 ↔ col 4
+		t.Error("missing horizontal wrap edge")
+	}
+	if !g.HasEdge(0, 15) { // col 0: row 0 ↔ row 3
+		t.Error("missing vertical wrap edge")
+	}
+}
+
+func TestTorusSmall(t *testing.T) {
+	// 3×3 torus still has uniform degree 4.
+	g := Torus(3, 3)
+	for i := 0; i < g.Len(); i++ {
+		if d := g.Degree(NodeID(i)); d != 4 {
+			t.Errorf("node %d degree = %d, want 4", i, d)
+		}
+	}
+}
+
+func TestHypercube(t *testing.T) {
+	for dim := 1; dim <= 6; dim++ {
+		g := Hypercube(dim)
+		if g.Len() != 1<<dim {
+			t.Fatalf("dim %d: Len = %d, want %d", dim, g.Len(), 1<<dim)
+		}
+		for v := 0; v < g.Len(); v++ {
+			if d := g.Degree(NodeID(v)); d != dim {
+				t.Errorf("dim %d: node %d degree = %d, want %d", dim, v, d, dim)
+			}
+		}
+		if !g.Connected() {
+			t.Errorf("dim %d: disconnected", dim)
+		}
+		if got := g.Diameter(); got != dim {
+			t.Errorf("dim %d: diameter = %d, want %d", dim, got, dim)
+		}
+	}
+}
+
+func TestSmallWorld(t *testing.T) {
+	g := SmallWorld(30, 3, 0.2, 1)
+	if g.Len() != 30 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+	if !g.Connected() {
+		t.Error("small world disconnected")
+	}
+	// With beta > 0, the diameter should be well under the pure ring's.
+	ring := Ring(30)
+	if g.Diameter() >= ring.Diameter() {
+		t.Errorf("small-world diameter %d not below ring diameter %d", g.Diameter(), ring.Diameter())
+	}
+}
+
+func TestSmallWorldZeroBetaIsLattice(t *testing.T) {
+	g := SmallWorld(20, 2, 0, 1)
+	for i := 0; i < 20; i++ {
+		for _, dist := range []int{1, 2} {
+			if !g.HasEdge(NodeID(i), NodeID((i+dist)%20)) {
+				t.Errorf("missing lattice chord %d→+%d", i, dist)
+			}
+		}
+	}
+}
+
+func TestSmallWorldDeterministic(t *testing.T) {
+	a := SmallWorld(25, 3, 0.5, 9)
+	b := SmallWorld(25, 3, 0.5, 9)
+	ea, eb := a.Edges(), b.Edges()
+	if len(ea) != len(eb) {
+		t.Fatal("not deterministic")
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatal("not deterministic")
+		}
+	}
+}
+
+// Property: small-world graphs stay connected for any parameters.
+func TestPropertySmallWorldConnected(t *testing.T) {
+	f := func(seed int64, nRaw, kRaw uint8, betaRaw uint8) bool {
+		n := 5 + int(nRaw)%40
+		k := 1 + int(kRaw)%4
+		beta := float64(betaRaw) / 255
+		return SmallWorld(n, k, beta, seed).Connected()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: torus diameter equals floor(rows/2) + floor(cols/2).
+func TestPropertyTorusDiameter(t *testing.T) {
+	f := func(rRaw, cRaw uint8) bool {
+		rows := 3 + int(rRaw)%6
+		cols := 3 + int(cRaw)%6
+		g := Torus(rows, cols)
+		return g.Diameter() == rows/2+cols/2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

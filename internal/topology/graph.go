@@ -1,0 +1,204 @@
+// Package topology builds and analyzes the network topologies used in the
+// study: the Baran-style regular meshes of uniform interior node degree
+// from the paper's §5, plus reference generators (line, ring, full mesh,
+// random) used by tests and extensions.
+package topology
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a node within a topology. IDs are dense, starting at 0.
+type NodeID int
+
+// Edge is an undirected link between two nodes, stored with A < B.
+type Edge struct {
+	A, B NodeID
+}
+
+// NewEdge returns the canonical (ordered) form of the edge {a, b}.
+func NewEdge(a, b NodeID) Edge {
+	if a > b {
+		a, b = b, a
+	}
+	return Edge{A: a, B: b}
+}
+
+// Graph is an undirected graph with dense node IDs. The zero value is an
+// empty graph; grow it with AddNode/AddEdge.
+type Graph struct {
+	n     int
+	adj   [][]NodeID
+	edges map[Edge]bool
+}
+
+// NewGraph returns a graph with n isolated nodes.
+func NewGraph(n int) *Graph {
+	g := &Graph{edges: make(map[Edge]bool)}
+	for i := 0; i < n; i++ {
+		g.AddNode()
+	}
+	return g
+}
+
+// Len returns the number of nodes.
+func (g *Graph) Len() int { return g.n }
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// AddNode adds an isolated node and returns its ID.
+func (g *Graph) AddNode() NodeID {
+	id := NodeID(g.n)
+	g.n++
+	g.adj = append(g.adj, nil)
+	if g.edges == nil {
+		g.edges = make(map[Edge]bool)
+	}
+	return id
+}
+
+// AddEdge adds the undirected edge {a, b}. Self-loops and out-of-range
+// nodes panic (model bugs); duplicate edges are ignored.
+func (g *Graph) AddEdge(a, b NodeID) {
+	if a == b {
+		panic(fmt.Sprintf("topology: self-loop at node %d", a))
+	}
+	if !g.valid(a) || !g.valid(b) {
+		panic(fmt.Sprintf("topology: edge {%d,%d} out of range (n=%d)", a, b, g.n))
+	}
+	e := NewEdge(a, b)
+	if g.edges[e] {
+		return
+	}
+	g.edges[e] = true
+	g.adj[a] = append(g.adj[a], b)
+	g.adj[b] = append(g.adj[b], a)
+}
+
+// HasEdge reports whether the undirected edge {a, b} exists.
+func (g *Graph) HasEdge(a, b NodeID) bool { return g.edges[NewEdge(a, b)] }
+
+// Neighbors returns the neighbors of id in insertion order. The returned
+// slice is owned by the graph and must not be modified.
+func (g *Graph) Neighbors(id NodeID) []NodeID { return g.adj[id] }
+
+// Degree returns the number of edges incident to id.
+func (g *Graph) Degree(id NodeID) int { return len(g.adj[id]) }
+
+// Edges returns all edges sorted by (A, B).
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, len(g.edges))
+	for e := range g.edges {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}
+
+func (g *Graph) valid(id NodeID) bool { return id >= 0 && int(id) < g.n }
+
+// Connected reports whether every node is reachable from node 0.
+// The empty graph is considered connected.
+func (g *Graph) Connected() bool {
+	if g.n == 0 {
+		return true
+	}
+	dist := g.BFS(0)
+	for _, d := range dist {
+		if d < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// BFS returns hop distances from src to every node; unreachable nodes get
+// -1.
+func (g *Graph) BFS(src NodeID) []int {
+	dist := make([]int, g.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []NodeID{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.adj[u] {
+			if dist[v] < 0 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// ShortestPath returns one shortest path from src to dst (inclusive of
+// both), preferring lower node IDs at each step, and whether dst is
+// reachable.
+func (g *Graph) ShortestPath(src, dst NodeID) ([]NodeID, bool) {
+	distToDst := g.BFS(dst)
+	if distToDst[src] < 0 {
+		return nil, false
+	}
+	path := []NodeID{src}
+	cur := src
+	for cur != dst {
+		next := NodeID(-1)
+		for _, v := range g.adj[cur] {
+			if distToDst[v] == distToDst[cur]-1 && (next < 0 || v < next) {
+				next = v
+			}
+		}
+		cur = next
+		path = append(path, cur)
+	}
+	return path, true
+}
+
+// Diameter returns the longest shortest-path distance over all node pairs.
+// It returns -1 for a disconnected or empty graph.
+func (g *Graph) Diameter() int {
+	if g.n == 0 {
+		return -1
+	}
+	max := 0
+	for src := 0; src < g.n; src++ {
+		for _, d := range g.BFS(NodeID(src)) {
+			if d < 0 {
+				return -1
+			}
+			if d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}
+
+// DegreeHistogram returns a map from degree to the number of nodes with
+// that degree.
+func (g *Graph) DegreeHistogram() map[int]int {
+	h := make(map[int]int)
+	for i := 0; i < g.n; i++ {
+		h[g.Degree(NodeID(i))]++
+	}
+	return h
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := NewGraph(g.n)
+	for e := range g.edges {
+		c.AddEdge(e.A, e.B)
+	}
+	return c
+}

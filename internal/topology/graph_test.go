@@ -1,0 +1,223 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGraphBasics(t *testing.T) {
+	g := NewGraph(3)
+	if g.Len() != 3 {
+		t.Fatalf("Len() = %d, want 3", g.Len())
+	}
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 1) // duplicate in reverse order
+	if g.NumEdges() != 2 {
+		t.Errorf("NumEdges() = %d, want 2 (duplicate ignored)", g.NumEdges())
+	}
+	if !g.HasEdge(1, 0) || !g.HasEdge(2, 1) {
+		t.Error("HasEdge should be order-insensitive")
+	}
+	if g.HasEdge(0, 2) {
+		t.Error("HasEdge(0,2) = true, want false")
+	}
+	if g.Degree(1) != 2 {
+		t.Errorf("Degree(1) = %d, want 2", g.Degree(1))
+	}
+}
+
+func TestAddNode(t *testing.T) {
+	g := NewGraph(0)
+	a := g.AddNode()
+	b := g.AddNode()
+	if a != 0 || b != 1 {
+		t.Fatalf("AddNode IDs = %d, %d; want 0, 1", a, b)
+	}
+	g.AddEdge(a, b)
+	if !g.HasEdge(a, b) {
+		t.Error("edge missing after AddNode + AddEdge")
+	}
+}
+
+func TestSelfLoopPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("AddEdge(1,1) did not panic")
+		}
+	}()
+	NewGraph(3).AddEdge(1, 1)
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("AddEdge out of range did not panic")
+		}
+	}()
+	NewGraph(3).AddEdge(0, 5)
+}
+
+func TestBFS(t *testing.T) {
+	g := Line(5)
+	dist := g.BFS(0)
+	for i, want := range []int{0, 1, 2, 3, 4} {
+		if dist[i] != want {
+			t.Errorf("dist[%d] = %d, want %d", i, dist[i], want)
+		}
+	}
+}
+
+func TestBFSUnreachable(t *testing.T) {
+	g := NewGraph(3)
+	g.AddEdge(0, 1)
+	dist := g.BFS(0)
+	if dist[2] != -1 {
+		t.Errorf("dist[2] = %d, want -1", dist[2])
+	}
+	if g.Connected() {
+		t.Error("Connected() = true for disconnected graph")
+	}
+}
+
+func TestShortestPath(t *testing.T) {
+	g := Ring(6)
+	path, ok := g.ShortestPath(0, 3)
+	if !ok {
+		t.Fatal("ShortestPath reported unreachable")
+	}
+	if len(path) != 4 {
+		t.Fatalf("path %v has %d nodes, want 4", path, len(path))
+	}
+	if path[0] != 0 || path[len(path)-1] != 3 {
+		t.Errorf("path %v does not run 0 → 3", path)
+	}
+	for i := 0; i+1 < len(path); i++ {
+		if !g.HasEdge(path[i], path[i+1]) {
+			t.Errorf("path step %d→%d is not an edge", path[i], path[i+1])
+		}
+	}
+}
+
+func TestShortestPathSameNode(t *testing.T) {
+	g := Line(3)
+	path, ok := g.ShortestPath(1, 1)
+	if !ok || len(path) != 1 || path[0] != 1 {
+		t.Errorf("ShortestPath(1,1) = %v, %v", path, ok)
+	}
+}
+
+func TestShortestPathUnreachable(t *testing.T) {
+	g := NewGraph(2)
+	if _, ok := g.ShortestPath(0, 1); ok {
+		t.Error("ShortestPath on disconnected pair reported reachable")
+	}
+}
+
+func TestDiameter(t *testing.T) {
+	if d := Line(5).Diameter(); d != 4 {
+		t.Errorf("Line(5) diameter = %d, want 4", d)
+	}
+	if d := Ring(6).Diameter(); d != 3 {
+		t.Errorf("Ring(6) diameter = %d, want 3", d)
+	}
+	if d := Full(7).Diameter(); d != 1 {
+		t.Errorf("Full(7) diameter = %d, want 1", d)
+	}
+	g := NewGraph(2)
+	if d := g.Diameter(); d != -1 {
+		t.Errorf("disconnected diameter = %d, want -1", d)
+	}
+}
+
+func TestEdgesSorted(t *testing.T) {
+	g := NewGraph(4)
+	g.AddEdge(3, 2)
+	g.AddEdge(1, 0)
+	g.AddEdge(2, 0)
+	edges := g.Edges()
+	want := []Edge{{0, 1}, {0, 2}, {2, 3}}
+	if len(edges) != len(want) {
+		t.Fatalf("Edges() = %v", edges)
+	}
+	for i := range want {
+		if edges[i] != want[i] {
+			t.Fatalf("Edges() = %v, want %v", edges, want)
+		}
+	}
+}
+
+func TestClone(t *testing.T) {
+	g := Ring(5)
+	c := g.Clone()
+	c.AddEdge(0, 2)
+	if g.HasEdge(0, 2) {
+		t.Error("mutating clone affected original")
+	}
+	if c.NumEdges() != g.NumEdges()+1 {
+		t.Error("clone edge count wrong")
+	}
+}
+
+func TestNewEdgeCanonical(t *testing.T) {
+	if NewEdge(5, 2) != (Edge{2, 5}) {
+		t.Error("NewEdge did not canonicalize order")
+	}
+}
+
+func TestFullDegrees(t *testing.T) {
+	g := Full(8)
+	for i := 0; i < 8; i++ {
+		if g.Degree(NodeID(i)) != 7 {
+			t.Errorf("Full(8) degree(%d) = %d, want 7", i, g.Degree(NodeID(i)))
+		}
+	}
+}
+
+func TestRandomConnectedAndDeterministic(t *testing.T) {
+	for _, seed := range []int64{1, 2, 42} {
+		g := Random(30, 4, seed)
+		if !g.Connected() {
+			t.Errorf("Random(seed=%d) is disconnected", seed)
+		}
+		h := Random(30, 4, seed)
+		if g.NumEdges() != h.NumEdges() {
+			t.Errorf("Random(seed=%d) not deterministic", seed)
+		}
+	}
+}
+
+// Property: BFS distances satisfy the triangle inequality along edges:
+// |dist(u) - dist(v)| ≤ 1 for every edge {u, v}.
+func TestPropertyBFSLipschitz(t *testing.T) {
+	f := func(seed int64) bool {
+		g := Random(25, 4, seed)
+		dist := g.BFS(0)
+		for _, e := range g.Edges() {
+			d := dist[e.A] - dist[e.B]
+			if d < -1 || d > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a shortest path's length equals the BFS distance.
+func TestPropertyShortestPathLength(t *testing.T) {
+	f := func(seed int64, a, b uint8) bool {
+		g := Random(20, 3, seed)
+		src, dst := NodeID(int(a)%20), NodeID(int(b)%20)
+		path, ok := g.ShortestPath(src, dst)
+		if !ok {
+			return false // Random graphs are connected.
+		}
+		return len(path)-1 == g.BFS(src)[dst]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,28 @@
+package trace
+
+import "routeconv/internal/netsim"
+
+// FirstLoop scans a packet's hop trace for the first revisited node and
+// returns that node and the loop length (number of hops between the two
+// visits). ok is false when the trace never revisits a node.
+//
+// The paper's §5.5 observes that packets which escape a transient loop are
+// delivered with far larger delays than packets that merely took a
+// sub-optimal path; this is the primitive behind that analysis.
+func FirstLoop(hops []netsim.NodeID) (node netsim.NodeID, length int, ok bool) {
+	seenAt := make(map[netsim.NodeID]int, len(hops))
+	for i, n := range hops {
+		if j, seen := seenAt[n]; seen {
+			return n, i - j, true
+		}
+		seenAt[n] = i
+	}
+	return 0, 0, false
+}
+
+// Looped reports whether the packet's recorded trace revisits any node.
+// It requires the network to run with Config.RecordHops enabled.
+func Looped(pkt *netsim.Packet) bool {
+	_, _, ok := FirstLoop(pkt.Trace)
+	return ok
+}

@@ -1,0 +1,226 @@
+// Package trace collects routing and forwarding events during a simulation
+// and derives the paper's convergence metrics: the network routing
+// convergence time (last routing table change anywhere, §5.4) and the
+// forwarding path convergence delay (last change of the sender→receiver
+// forwarding walk), plus the transient-path and delivery/drop records that
+// Figures 3–7 are computed from.
+package trace
+
+import (
+	"time"
+
+	"routeconv/internal/netsim"
+)
+
+// RouteChange is one forwarding-table modification.
+type RouteChange struct {
+	At      time.Duration
+	Node    netsim.NodeID
+	Dst     netsim.NodeID
+	NextHop netsim.NodeID
+	Removed bool
+}
+
+// PathSample is the sender→receiver forwarding walk observed at one
+// instant. Path holds the nodes visited; OK is false when the walk hit a
+// missing route, a loop, or a down link.
+type PathSample struct {
+	At   time.Duration
+	Path []netsim.NodeID
+	OK   bool
+}
+
+// Delivery records one data packet arriving at its destination.
+type Delivery struct {
+	At    time.Duration
+	Delay time.Duration
+	Hops  int
+	// Looped reports whether the packet's trace revisited a node before
+	// delivery (an escaped transient loop, §5.5). Only meaningful when the
+	// network records hops.
+	Looped bool
+}
+
+// Drop records one lost packet.
+type Drop struct {
+	At     time.Duration
+	Where  netsim.NodeID
+	Reason netsim.DropReason
+	// Control marks routing messages (excluded from data-loss metrics).
+	Control bool
+}
+
+// Collector is a netsim.Observer that records everything needed to compute
+// the study's metrics for one (sender, receiver) flow. Create it, pass it
+// to netsim as the observer, then call SetNetwork before the simulation
+// starts.
+type Collector struct {
+	net      *netsim.Network
+	src, dst netsim.NodeID
+
+	RouteChanges []RouteChange
+	PathHistory  []PathSample
+	Deliveries   []Delivery
+	Drops        []Drop
+}
+
+var _ netsim.Observer = (*Collector)(nil)
+
+// NewCollector returns a collector for the flow src→dst.
+func NewCollector(src, dst netsim.NodeID) *Collector {
+	return &Collector{src: src, dst: dst}
+}
+
+// SetNetwork binds the collector to the network it observes. Required
+// before any event fires, because path sampling walks the network's
+// forwarding tables.
+func (c *Collector) SetNetwork(n *netsim.Network) { c.net = n }
+
+// Flow returns the observed sender and receiver.
+func (c *Collector) Flow() (src, dst netsim.NodeID) { return c.src, c.dst }
+
+// RouteChanged implements netsim.Observer.
+func (c *Collector) RouteChanged(at time.Duration, node, dst, nextHop netsim.NodeID, removed bool) {
+	c.RouteChanges = append(c.RouteChanges, RouteChange{At: at, Node: node, Dst: dst, NextHop: nextHop, Removed: removed})
+	if dst == c.dst {
+		c.SamplePath()
+	}
+}
+
+// PacketDelivered implements netsim.Observer.
+func (c *Collector) PacketDelivered(at time.Duration, pkt *netsim.Packet) {
+	if pkt.Dst != c.dst {
+		return
+	}
+	c.Deliveries = append(c.Deliveries, Delivery{
+		At:     at,
+		Delay:  at - pkt.Created,
+		Hops:   pkt.HopCount,
+		Looped: Looped(pkt),
+	})
+}
+
+// LoopEscapes counts deliveries at or after t whose packets had crossed a
+// forwarding loop. It requires the network to record hops.
+func (c *Collector) LoopEscapes(t time.Duration) int {
+	n := 0
+	for _, d := range c.Deliveries {
+		if d.At >= t && d.Looped {
+			n++
+		}
+	}
+	return n
+}
+
+// PacketDropped implements netsim.Observer. Data drops are recorded only
+// for this collector's flow, so that multi-flow runs with one collector per
+// flow do not double-count; control drops are always recorded.
+func (c *Collector) PacketDropped(at time.Duration, where netsim.NodeID, pkt *netsim.Packet, reason netsim.DropReason) {
+	if !pkt.Control() && pkt.Dst != c.dst {
+		return
+	}
+	c.Drops = append(c.Drops, Drop{At: at, Where: where, Reason: reason, Control: pkt.Control()})
+}
+
+// SamplePath records the current sender→receiver forwarding walk if it
+// differs from the last recorded one. Call it manually at moments the walk
+// can change without a route-change event (e.g. at failure injection).
+func (c *Collector) SamplePath() {
+	if c.net == nil {
+		return
+	}
+	path, ok := c.net.WalkPath(c.src, c.dst)
+	if last := c.lastSample(); last != nil && last.OK == ok && pathEqual(last.Path, path) {
+		return
+	}
+	cp := make([]netsim.NodeID, len(path))
+	copy(cp, path)
+	c.PathHistory = append(c.PathHistory, PathSample{At: c.net.Sim().Now(), Path: cp, OK: ok})
+}
+
+func (c *Collector) lastSample() *PathSample {
+	if len(c.PathHistory) == 0 {
+		return nil
+	}
+	return &c.PathHistory[len(c.PathHistory)-1]
+}
+
+// RoutingConvergence returns the network routing convergence time after a
+// failure at failAt: the time from failAt to the last routing table change
+// anywhere in the network. It returns 0 when nothing changed after failAt.
+func (c *Collector) RoutingConvergence(failAt time.Duration) time.Duration {
+	var last time.Duration
+	for _, rc := range c.RouteChanges {
+		if rc.At >= failAt && rc.At > last {
+			last = rc.At
+		}
+	}
+	if last == 0 {
+		return 0
+	}
+	return last - failAt
+}
+
+// ForwardingConvergence returns the forwarding path convergence delay after
+// a failure at failAt: the time from failAt until the sender→receiver walk
+// last changed. It returns 0 when the walk never changed after failAt.
+func (c *Collector) ForwardingConvergence(failAt time.Duration) time.Duration {
+	var last time.Duration
+	for _, ps := range c.PathHistory {
+		if ps.At >= failAt && ps.At > last {
+			last = ps.At
+		}
+	}
+	if last == 0 {
+		return 0
+	}
+	return last - failAt
+}
+
+// TransientPaths returns the number of distinct forwarding walks observed
+// in (failAt, ∞), i.e. how many intermediate paths the flow crossed before
+// settling (§2: "number of transient forwarding paths").
+func (c *Collector) TransientPaths(failAt time.Duration) int {
+	n := 0
+	for _, ps := range c.PathHistory {
+		if ps.At > failAt {
+			n++
+		}
+	}
+	return n
+}
+
+// DataDropsAfter counts non-control drops with the given reason at or
+// after t.
+func (c *Collector) DataDropsAfter(t time.Duration, reason netsim.DropReason) int {
+	n := 0
+	for _, d := range c.Drops {
+		if !d.Control && d.At >= t && d.Reason == reason {
+			n++
+		}
+	}
+	return n
+}
+
+// DeliveredIn counts deliveries in the half-open interval [from, to).
+func (c *Collector) DeliveredIn(from, to time.Duration) int {
+	n := 0
+	for _, d := range c.Deliveries {
+		if d.At >= from && d.At < to {
+			n++
+		}
+	}
+	return n
+}
+
+func pathEqual(a, b []netsim.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,184 @@
+// Package routeconv studies packet delivery performance during routing
+// convergence, reproducing Pei, Wang, Massey, Wu & Zhang, "A Study of
+// Packet Delivery Performance during Routing Convergence" (DSN 2003).
+//
+// The library bundles a deterministic discrete-event packet-level network
+// simulator, four routing protocols from the paper (RIP, Distributed
+// Bellman-Ford, BGP and the fast-MRAI BGP3) plus a link-state extension,
+// the Baran-style regular mesh topology family, and an experiment harness
+// that reproduces every figure of the paper's evaluation.
+//
+// The minimal use is three lines:
+//
+//	cfg := routeconv.DefaultConfig()
+//	cfg.Protocol = routeconv.ProtoDBF
+//	result, err := routeconv.Run(cfg)
+//
+// Run builds a Rows×Cols mesh of the requested node degree, attaches stub
+// sender/receiver routers to random first/last-row nodes, warms the routing
+// protocol up, starts a 20 packets-per-second flow, fails one link on the
+// flow's forwarding path, and measures drops (by cause), convergence times,
+// and instantaneous throughput and delay — over cfg.Trials independent
+// trials.
+//
+// RunSweep repeats that across protocols and node degrees and renders the
+// paper's Figures 3–7 as tables. See cmd/figures for the full
+// reproduction driver and the examples directory for runnable scenarios.
+package routeconv
+
+import (
+	"routeconv/internal/core"
+	"routeconv/internal/netsim"
+	"routeconv/internal/routing"
+	"routeconv/internal/routing/bgp"
+	"routeconv/internal/routing/ls"
+	"routeconv/internal/stats"
+	"routeconv/internal/topology"
+)
+
+// ProtocolKind selects the routing protocol under study.
+type ProtocolKind = core.ProtocolKind
+
+// The protocols of the paper's §3, plus the link-state extension.
+const (
+	// ProtoRIP is RIP (RFC 2453-style distance vector): periodic 30 s
+	// full-table updates, no alternate-path state.
+	ProtoRIP = core.ProtoRIP
+	// ProtoDBF is Distributed Bellman-Ford: RIP plus a cache of each
+	// neighbor's latest vector, giving instant path switch-over.
+	ProtoDBF = core.ProtoDBF
+	// ProtoBGP is path-vector BGP with the standard 30 s per-neighbor MRAI.
+	ProtoBGP = core.ProtoBGP
+	// ProtoBGP3 is the paper's specially parameterized BGP with a 3 s MRAI.
+	ProtoBGP3 = core.ProtoBGP3
+	// ProtoLS is the link-state (SPF) extension from the paper's future
+	// work.
+	ProtoLS = core.ProtoLS
+)
+
+// Protocols returns the paper's four protocols in presentation order.
+func Protocols() []ProtocolKind { return core.Protocols() }
+
+// TrafficPattern selects the flow's packet arrival process.
+type TrafficPattern = core.TrafficPattern
+
+// Traffic patterns: the paper's constant-rate workload plus two
+// workload-sensitivity extensions.
+const (
+	// TrafficCBR is the paper's constant-bit-rate flow (the default).
+	TrafficCBR = core.TrafficCBR
+	// TrafficPoisson draws exponential inter-arrival times.
+	TrafficPoisson = core.TrafficPoisson
+	// TrafficOnOff alternates exponential bursts and silences.
+	TrafficOnOff = core.TrafficOnOff
+)
+
+// ParseProtocol converts a name ("rip", "dbf", "bgp", "bgp3", "ls") to its
+// kind.
+func ParseProtocol(s string) (ProtocolKind, error) { return core.ParseProtocol(s) }
+
+// Config describes one experiment; see DefaultConfig for the paper's
+// parameters.
+type Config = core.Config
+
+// NetConfig holds the physical link parameters (rate, delay, detection
+// time, queue length).
+type NetConfig = netsim.Config
+
+// VectorConfig parameterizes the distance-vector protocols (RIP, DBF).
+type VectorConfig = routing.VectorConfig
+
+// BGPConfig parameterizes the path-vector protocol (MRAI value and
+// granularity).
+type BGPConfig = bgp.Config
+
+// LSConfig parameterizes the link-state extension.
+type LSConfig = ls.Config
+
+// DampingConfig parameterizes RFC 2439 route flap damping (set it on a
+// BGPConfig's Damping field).
+type DampingConfig = bgp.DampingConfig
+
+// TrialResult holds the measurements of one simulation run.
+type TrialResult = core.TrialResult
+
+// Result aggregates an experiment's trials; see its Mean* fields for the
+// figures' quantities.
+type Result = core.Result
+
+// SweepConfig describes the full evaluation grid (protocols × degrees).
+type SweepConfig = core.SweepConfig
+
+// SweepResult holds one Result per grid cell and renders the paper's
+// figures as tables.
+type SweepResult = core.SweepResult
+
+// Table is a rendered result table; use WriteText or WriteCSV.
+type Table = stats.Table
+
+// NodeID identifies a node (router or stub host) in a simulated network.
+type NodeID = netsim.NodeID
+
+// Edge is an undirected link between two nodes.
+type Edge = topology.Edge
+
+// Graph is an undirected router topology; set it on Config.Topology (with
+// SenderRouters/ReceiverRouters) to run the experiment on something other
+// than the paper's mesh.
+type Graph = topology.Graph
+
+// Torus returns a rows×cols wrap-around lattice (uniform degree 4).
+func Torus(rows, cols int) *Graph { return topology.Torus(rows, cols) }
+
+// Hypercube returns the dim-dimensional hypercube (2^dim nodes of degree
+// dim).
+func Hypercube(dim int) *Graph { return topology.Hypercube(dim) }
+
+// SmallWorld returns a Watts–Strogatz small-world graph: ring lattice with
+// k neighbors per side, each chord rewired with probability beta.
+func SmallWorld(n, k int, beta float64, seed int64) *Graph {
+	return topology.SmallWorld(n, k, beta, seed)
+}
+
+// RandomTopology returns a connected random graph with roughly the given
+// average degree.
+func RandomTopology(n, avgDegree int, seed int64) *Graph {
+	return topology.Random(n, avgDegree, seed)
+}
+
+// DefaultConfig returns the paper's §5 experiment parameters: a 7×7 mesh,
+// 10 Mbps / 1 ms links with 20-packet queues and 50 ms failure detection, a
+// 20 packets-per-second flow starting at 390 s, a single on-path link
+// failure at 400 s, and an 800 s horizon.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// DefaultVectorConfig returns the RFC 2453 distance-vector parameters used
+// by the paper (30 s periodic updates, 1–5 s triggered-update damping,
+// split horizon with poisoned reverse, infinity 16).
+func DefaultVectorConfig() VectorConfig { return routing.DefaultVectorConfig() }
+
+// DefaultBGPConfig returns the paper's standard BGP parameters (30 s
+// per-neighbor MRAI).
+func DefaultBGPConfig() BGPConfig { return bgp.DefaultConfig() }
+
+// BGP3Config returns the paper's fast-MRAI variant (3 s).
+func BGP3Config() BGPConfig { return bgp.BGP3Config() }
+
+// DefaultDampingConfig returns the RFC 2439 suggested flap-damping
+// parameters (1000 per withdrawal, suppress at 2000, reuse at 750, 15 min
+// half-life).
+func DefaultDampingConfig() DampingConfig { return bgp.DefaultDampingConfig() }
+
+// Run executes one experiment: cfg.Trials independent simulations,
+// aggregated.
+func Run(cfg Config) (*Result, error) { return core.Run(cfg) }
+
+// RunSweep executes a protocol × degree grid; progress (optional) receives
+// one line per completed cell.
+func RunSweep(sc SweepConfig, progress func(string)) (*SweepResult, error) {
+	return core.RunSweep(sc, progress)
+}
+
+// DefaultSweep returns the paper's full evaluation grid (all four
+// protocols, degrees 3–16) at the given trial count per cell.
+func DefaultSweep(trials int) SweepConfig { return core.DefaultSweep(trials) }
