@@ -1,6 +1,7 @@
 package routeconv
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -28,6 +29,25 @@ func TestPublicRun(t *testing.T) {
 	}
 	if len(res.Trials) != 2 {
 		t.Errorf("trials = %d, want 2", len(res.Trials))
+	}
+}
+
+func TestPublicRunContext(t *testing.T) {
+	res, err := RunContext(context.Background(), fastConfig(ProtoDBF))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trials) != 2 {
+		t.Errorf("trials = %d, want 2", len(res.Trials))
+	}
+	// A cancelled context aborts the experiment instead of finishing the
+	// trial batch.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := fastConfig(ProtoDBF)
+	cfg.Trials = 50
+	if _, err := RunContext(ctx, cfg); err != context.Canceled {
+		t.Errorf("cancelled RunContext returned %v, want context.Canceled", err)
 	}
 }
 

@@ -1,10 +1,13 @@
 package routeconv
 
 import (
+	"context"
 	"fmt"
+	"path/filepath"
 	"testing"
 	"time"
 
+	"routeconv/internal/sweep"
 	"routeconv/internal/topology"
 )
 
@@ -392,6 +395,59 @@ func BenchmarkExtensionLargerNetwork(b *testing.B) {
 			"fwd-conv-s":    r.MeanFwdConv,
 		}
 	})
+}
+
+// benchSweepSpec is the grid used by the sweep-orchestrator benches: four
+// cells of the shortened paper experiment.
+func benchSweepSpec() sweep.Spec {
+	base := benchConfig(ProtoDBF, 4)
+	return sweep.Spec{
+		Name:      "bench",
+		Protocols: []string{"dbf", "rip"},
+		Degrees:   []int{3, 4},
+		Trials:    1,
+		Seed:      1,
+		Base:      &base,
+	}
+}
+
+// BenchmarkSweepCold measures the orchestrator with an empty result cache:
+// every cell simulates. Together with BenchmarkSweepCached it tracks the
+// cache's speedup in the perf trajectory.
+func BenchmarkSweepCold(b *testing.B) {
+	spec := benchSweepSpec()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		opts := sweep.Options{CacheDir: filepath.Join(b.TempDir(), fmt.Sprintf("cache%d", i))}
+		out, err := sweep.Run(context.Background(), spec, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out.Executed != len(out.Cells) {
+			b.Fatalf("cold run hit the cache: %d executed of %d", out.Executed, len(out.Cells))
+		}
+	}
+}
+
+// BenchmarkSweepCached measures the orchestrator with a fully warm cache:
+// every cell is served from disk and rehydrated.
+func BenchmarkSweepCached(b *testing.B) {
+	spec := benchSweepSpec()
+	opts := sweep.Options{CacheDir: filepath.Join(b.TempDir(), "cache")}
+	if _, err := sweep.Run(context.Background(), spec, opts); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := sweep.Run(context.Background(), spec, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out.CacheHits != len(out.Cells) {
+			b.Fatalf("cached run simulated: %d hits of %d", out.CacheHits, len(out.Cells))
+		}
+	}
 }
 
 // BenchmarkTopology measures mesh construction across the degree range

@@ -5,32 +5,46 @@
 // Usage:
 //
 //	figures [-trials N] [-degrees 3-16] [-protocols rip,dbf,bgp,bgp3]
-//	        [-series-degrees 3,4,5,6] [-seed S] [-out DIR]
+//	        [-series-degrees 3,4,5,6] [-seed S] [-out DIR] [-cache DIR]
 //
 // A full paper-scale run is `figures -trials 100`; the defaults trade
 // trial count for wall-clock time while preserving every qualitative
 // result.
+//
+// Figure regeneration is incremental: the sweep behind the figures runs on
+// the internal/sweep orchestrator, whose content-addressed cache (under
+// -cache, default OUT/.sweep/cache) serves every cell whose configuration
+// is unchanged since the last run. Re-running with one new degree only
+// simulates that degree's cells; an interrupted run resumes from its
+// journal. All outputs are written atomically (temp file + rename), so an
+// interrupted run never leaves truncated files in -out.
 package main
 
 import (
+	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
-	"strconv"
 	"strings"
+	"syscall"
 
 	"routeconv"
+	"routeconv/internal/sweep"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "figures:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
 	var (
 		trials        = fs.Int("trials", 20, "trials per (protocol, degree) cell (paper: 100)")
@@ -39,6 +53,7 @@ func run(args []string) error {
 		seriesFlag    = fs.String("series-degrees", "3,4,5,6", "degrees for the Figure 5/7 time series")
 		seed          = fs.Int64("seed", 1, "base random seed")
 		outDir        = fs.String("out", "results", "output directory")
+		cacheDir      = fs.String("cache", "", "sweep cache directory (default OUT/.sweep/cache; \"off\" disables caching)")
 		report        = fs.String("report", "", "also write a self-contained markdown report to this path")
 		quiet         = fs.Bool("q", false, "suppress progress output")
 	)
@@ -54,32 +69,50 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	var protocols []routeconv.ProtocolKind
+	var protocols []string
 	for _, name := range strings.Split(*protocolsFlag, ",") {
-		p, err := routeconv.ParseProtocol(strings.TrimSpace(name))
-		if err != nil {
+		name = strings.TrimSpace(name)
+		if _, err := routeconv.ParseProtocol(name); err != nil {
 			return err
 		}
-		protocols = append(protocols, p)
-	}
-
-	sc := routeconv.DefaultSweep(*trials)
-	sc.Base.Seed = *seed
-	sc.Degrees = degrees
-	sc.Protocols = protocols
-
-	progress := func(line string) { fmt.Fprintln(os.Stderr, line) }
-	if *quiet {
-		progress = nil
-	}
-	sr, err := routeconv.RunSweep(sc, progress)
-	if err != nil {
-		return err
+		protocols = append(protocols, name)
 	}
 
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		return err
 	}
+	spec := sweep.Spec{
+		Name:      "figures",
+		Protocols: protocols,
+		Degrees:   degrees,
+		Trials:    *trials,
+		Seed:      *seed,
+	}
+	stateDir := filepath.Join(*outDir, ".sweep")
+	if err := os.MkdirAll(stateDir, 0o755); err != nil {
+		return err
+	}
+	cd := *cacheDir
+	switch cd {
+	case "":
+		cd = filepath.Join(stateDir, "cache")
+	case "off":
+		cd = ""
+	}
+	opts := sweep.Options{
+		CacheDir:     cd,
+		JournalPath:  filepath.Join(stateDir, "journal.jsonl"),
+		ManifestPath: filepath.Join(stateDir, "manifest.json"),
+	}
+	if !*quiet {
+		opts.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
+	}
+	out, err := sweep.Run(ctx, spec, opts)
+	if err != nil {
+		return err
+	}
+	sr := out.SweepResult()
+
 	outputs := []struct {
 		name  string
 		table *routeconv.Table
@@ -116,37 +149,27 @@ func run(args []string) error {
 			continue
 		}
 		path := filepath.Join(*outDir, fmt.Sprintf("fig5_fig7_deg%d.plot.txt", d))
-		f, err := os.Create(path)
-		if err != nil {
+		var buf bytes.Buffer
+		if err := sr.Figure5Plot(d).Write(&buf); err != nil {
 			return err
 		}
-		if err := sr.Figure5Plot(d).Write(f); err != nil {
-			f.Close()
+		if _, err := fmt.Fprintln(&buf); err != nil {
 			return err
 		}
-		if _, err := fmt.Fprintln(f); err != nil {
-			f.Close()
+		if err := sr.Figure7Plot(d).Write(&buf); err != nil {
 			return err
 		}
-		if err := sr.Figure7Plot(d).Write(f); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
+		if err := sweep.WriteFileAtomic(path, buf.Bytes(), 0o644); err != nil {
 			return err
 		}
 		fmt.Printf("wrote %s\n", path)
 	}
 	if *report != "" {
-		f, err := os.Create(*report)
-		if err != nil {
+		var buf bytes.Buffer
+		if err := sr.WriteReport(&buf); err != nil {
 			return err
 		}
-		if err := sr.WriteReport(f); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
+		if err := sweep.WriteFileAtomic(*report, buf.Bytes(), 0o644); err != nil {
 			return err
 		}
 		fmt.Printf("wrote %s\n", *report)
@@ -155,32 +178,7 @@ func run(args []string) error {
 }
 
 // parseDegrees accepts "3-8" or "3,4,5" (or a mix like "3-5,8").
-func parseDegrees(s string) ([]int, error) {
-	var out []int
-	for _, part := range strings.Split(s, ",") {
-		part = strings.TrimSpace(part)
-		if lo, hi, ok := strings.Cut(part, "-"); ok {
-			a, err1 := strconv.Atoi(lo)
-			b, err2 := strconv.Atoi(hi)
-			if err1 != nil || err2 != nil || a > b {
-				return nil, fmt.Errorf("bad degree range %q", part)
-			}
-			for d := a; d <= b; d++ {
-				out = append(out, d)
-			}
-			continue
-		}
-		d, err := strconv.Atoi(part)
-		if err != nil {
-			return nil, fmt.Errorf("bad degree %q", part)
-		}
-		out = append(out, d)
-	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("no degrees in %q", s)
-	}
-	return out, nil
-}
+func parseDegrees(s string) ([]int, error) { return sweep.ParseDegrees(s) }
 
 func containsInt(xs []int, v int) bool {
 	for _, x := range xs {
@@ -191,19 +189,19 @@ func containsInt(xs []int, v int) bool {
 	return false
 }
 
+// writeTable renders a table and writes the .txt and .csv files atomically,
+// so an interrupted run never leaves a truncated output.
 func writeTable(t *routeconv.Table, base string) error {
-	txt, err := os.Create(base + ".txt")
-	if err != nil {
+	var txt bytes.Buffer
+	if err := t.WriteText(&txt); err != nil {
 		return err
 	}
-	defer txt.Close()
-	if err := t.WriteText(txt); err != nil {
+	if err := sweep.WriteFileAtomic(base+".txt", txt.Bytes(), 0o644); err != nil {
 		return err
 	}
-	csv, err := os.Create(base + ".csv")
-	if err != nil {
+	var csv bytes.Buffer
+	if err := t.WriteCSV(&csv); err != nil {
 		return err
 	}
-	defer csv.Close()
-	return t.WriteCSV(csv)
+	return sweep.WriteFileAtomic(base+".csv", csv.Bytes(), 0o644)
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -56,7 +57,7 @@ func TestContainsInt(t *testing.T) {
 
 func TestRunEndToEnd(t *testing.T) {
 	dir := t.TempDir()
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-trials", "1",
 		"-degrees", "4",
 		"-protocols", "dbf",
@@ -98,7 +99,7 @@ func TestRunEndToEnd(t *testing.T) {
 func TestRunWritesReport(t *testing.T) {
 	dir := t.TempDir()
 	report := filepath.Join(dir, "report.md")
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-trials", "1", "-degrees", "4", "-protocols", "dbf",
 		"-series-degrees", "4", "-out", dir, "-report", report, "-q",
 	})
@@ -123,7 +124,7 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		{"-protocols", "nonesuch"},
 		{"-series-degrees", "x"},
 	} {
-		if err := run(args); err == nil {
+		if err := run(context.Background(), args); err == nil {
 			t.Errorf("run(%v) succeeded, want error", args)
 		}
 	}

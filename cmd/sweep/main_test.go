@@ -1,0 +1,115 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fastSpec is a sweep spec small enough for unit tests: a short horizon
+// and one protocol at two degrees.
+const fastSpec = `{
+	"name": "unit",
+	"protocols": ["dbf"],
+	"degrees": [3, 4],
+	"trials": 1,
+	"seed": 1,
+	"end": "450s"
+}`
+
+func writeSpec(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "spec.json")
+	if err := os.WriteFile(path, []byte(fastSpec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "out")
+	spec := writeSpec(t)
+	if err := run(context.Background(), []string{"-spec", spec, "-out", out, "-q"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"summary.txt", "summary.csv", "manifest.json", "journal.jsonl"} {
+		data, err := os.ReadFile(filepath.Join(out, name))
+		if err != nil {
+			t.Errorf("missing %s: %v", name, err)
+			continue
+		}
+		if len(data) == 0 {
+			t.Errorf("%s is empty", name)
+		}
+	}
+	var m struct {
+		TotalCells int `json:"total_cells"`
+		Executed   int `json:"executed"`
+		CacheHits  int `json:"cache_hits"`
+	}
+	read := func() {
+		data, err := os.ReadFile(filepath.Join(out, "manifest.json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(data, &m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	read()
+	if m.TotalCells != 2 || m.Executed != 2 || m.CacheHits != 0 {
+		t.Fatalf("first run manifest: %+v", m)
+	}
+	// Second invocation: everything from cache.
+	if err := run(context.Background(), []string{"-spec", spec, "-out", out, "-q"}); err != nil {
+		t.Fatal(err)
+	}
+	read()
+	if m.CacheHits != 2 || m.Executed != 0 {
+		t.Fatalf("second run manifest not fully cached: %+v", m)
+	}
+}
+
+func TestRunPlanMode(t *testing.T) {
+	spec := writeSpec(t)
+	// -plan only expands; it must not create any output directory.
+	out := filepath.Join(t.TempDir(), "nonexistent")
+	if err := run(context.Background(), []string{"-spec", spec, "-out", out, "-plan"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(out); !os.IsNotExist(err) {
+		t.Errorf("plan mode touched the output directory")
+	}
+}
+
+func TestRunGridFlags(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "out")
+	err := run(context.Background(), []string{
+		"-protocols", "dbf", "-degrees", "3", "-trials", "1", "-out", out, "-q",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(out, "summary.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "protocol,degree,") {
+		t.Errorf("summary header = %q", strings.SplitN(string(data), "\n", 2)[0])
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	for _, args := range [][]string{
+		{"-degrees", "junk"},
+		{"-protocols", "nonesuch", "-degrees", "3"},
+		{"-spec", "/nonexistent/spec.json"},
+	} {
+		if err := run(context.Background(), args); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

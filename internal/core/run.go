@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -89,6 +90,13 @@ type Result struct {
 // Run executes the experiment: cfg.Trials independent simulations in
 // parallel, aggregated into a Result.
 func Run(cfg Config) (*Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run with cancellation: workers check ctx between trials, so
+// a cancelled experiment stops promptly instead of finishing its whole trial
+// batch. It returns ctx.Err() when cancelled.
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -108,6 +116,9 @@ func Run(cfg Config) (*Result, error) {
 		go func() {
 			defer wg.Done()
 			for i := range next {
+				if ctx.Err() != nil {
+					continue // drain; the error is reported once below
+				}
 				tr, _, err := runTrial(&cfg, i)
 				if err != nil {
 					mu.Lock()
@@ -121,16 +132,33 @@ func Run(cfg Config) (*Result, error) {
 			}
 		}()
 	}
+dispatch:
 	for i := 0; i < cfg.Trials; i++ {
-		next <- i
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(next)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if firstErr != nil {
 		return nil, firstErr
 	}
 	res.aggregate()
 	return res, nil
+}
+
+// NewResult assembles a Result from per-trial measurements, computing every
+// aggregate field. Callers that persist trials — the sweep subsystem's
+// result cache — use it to rehydrate a Result without re-simulating.
+func NewResult(cfg Config, trials []TrialResult) *Result {
+	res := &Result{Config: cfg, Trials: trials}
+	res.aggregate()
+	return res
 }
 
 // flow is one sender/receiver pair within a trial.

@@ -1,0 +1,87 @@
+package sweep
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Len() != 0 || j.Done("k1") {
+		t.Fatal("fresh journal not empty")
+	}
+	if err := j.RecordAt("k1", "dbf/d3/single", 120*time.Millisecond, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.RecordAt("k2", "rip/d3/single", time.Millisecond, true); err != nil {
+		t.Fatal(err)
+	}
+	if !j.Done("k1") || !j.Done("k2") || j.Done("k3") {
+		t.Error("Done wrong before reopen")
+	}
+	j.Close()
+
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Len() != 2 || !j2.Done("k1") || !j2.Done("k2") {
+		t.Errorf("reopened journal lost entries: len %d", j2.Len())
+	}
+}
+
+// TestJournalTornLine simulates a crash mid-append: the torn final line is
+// ignored and its cell simply counts as unfinished.
+func TestJournalTornLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.RecordAt("k1", "a", time.Second, false); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"key":"k2","id":"b","wall_`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if !j2.Done("k1") {
+		t.Error("intact entry lost")
+	}
+	if j2.Done("k2") {
+		t.Error("torn entry counted as done")
+	}
+	// The journal stays appendable after a torn line...
+	if err := j2.RecordAt("k3", "c", time.Second, false); err != nil {
+		t.Fatal(err)
+	}
+	// ...and the new entry survives a reopen (the torn line is bounded by
+	// its newline-framed successor).
+	j2.Close()
+	j3, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	if !j3.Done("k3") || !j3.Done("k1") {
+		t.Errorf("entries after torn line lost: len %d", j3.Len())
+	}
+}

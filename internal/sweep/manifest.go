@@ -1,0 +1,76 @@
+package sweep
+
+import (
+	"encoding/json"
+	"runtime"
+	"time"
+)
+
+// Manifest is the machine-readable record of one sweep run: what was asked
+// for (the spec), what produced it (module version, Go version), and what
+// happened per cell (key, seed, wall time, cache provenance). It is
+// written atomically as manifest.json next to the sweep's outputs.
+type Manifest struct {
+	Name          string         `json:"name,omitempty"`
+	CreatedAt     time.Time      `json:"created_at"`
+	GoVersion     string         `json:"go_version"`
+	ModuleVersion string         `json:"module_version"`
+	Spec          Spec           `json:"spec"`
+	TotalCells    int            `json:"total_cells"`
+	Executed      int            `json:"executed"`
+	CacheHits     int            `json:"cache_hits"`
+	WallMS        int64          `json:"wall_ms"`
+	Cells         []ManifestCell `json:"cells"`
+}
+
+// ManifestCell records one cell's identity and provenance.
+type ManifestCell struct {
+	ID       string `json:"id"`
+	Key      string `json:"key"`
+	Protocol string `json:"protocol"`
+	Degree   int    `json:"degree"`
+	Failure  string `json:"failure"`
+	Seed     int64  `json:"seed"`
+	Trials   int    `json:"trials"`
+	WallMS   int64  `json:"wall_ms"`
+	Cached   bool   `json:"cached"`
+}
+
+// buildManifest assembles the manifest for a finished sweep.
+func buildManifest(spec Spec, out *Outcome) *Manifest {
+	m := &Manifest{
+		Name:          spec.Name,
+		CreatedAt:     time.Now().UTC(),
+		GoVersion:     runtime.Version(),
+		ModuleVersion: Version(),
+		Spec:          spec,
+		TotalCells:    len(out.Cells),
+		Executed:      out.Executed,
+		CacheHits:     out.CacheHits,
+		WallMS:        out.Wall.Milliseconds(),
+	}
+	for i := range out.Cells {
+		c := &out.Cells[i]
+		m.Cells = append(m.Cells, ManifestCell{
+			ID:       c.Cell.ID(),
+			Key:      c.Cell.Key,
+			Protocol: c.Cell.Protocol.String(),
+			Degree:   c.Cell.Degree,
+			Failure:  c.Cell.Failure.Name,
+			Seed:     c.Cell.Config.Seed,
+			Trials:   c.Cell.Config.Trials,
+			WallMS:   c.Wall.Milliseconds(),
+			Cached:   c.Cached,
+		})
+	}
+	return m
+}
+
+// Write renders the manifest as indented JSON and writes it atomically.
+func (m *Manifest) Write(path string) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return WriteFileAtomic(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,244 @@
+// Package sweep is the experiment-orchestration subsystem: it expands a
+// declarative sweep specification — protocols × node degrees × failure
+// models, at a given trial count — into a plan of independent cells and
+// executes them on a bounded worker pool with a content-addressed on-disk
+// result cache, a checkpoint journal for resume-after-interrupt, context
+// cancellation, live progress reporting, and a machine-readable manifest.
+//
+// The design follows the scenario-level decomposition argued for by the
+// distributed-BGP-simulation feasibility literature: each (protocol,
+// degree, failure) cell is an embarrassingly parallel unit whose result is
+// a pure function of its fully-resolved core.Config, so cells are cached by
+// a canonical hash of that config and never recomputed until the config —
+// or the module version — changes.
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"routeconv/internal/core"
+)
+
+// Duration is a time.Duration that marshals to and from JSON as a Go
+// duration string ("3s", "1m30s"), so specs stay human-editable.
+type Duration time.Duration
+
+// MarshalJSON implements json.Marshaler.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON implements json.Unmarshaler; it accepts a duration string
+// or a bare number of nanoseconds.
+func (d *Duration) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err == nil {
+		v, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("sweep: bad duration %q: %w", s, err)
+		}
+		*d = Duration(v)
+		return nil
+	}
+	var n int64
+	if err := json.Unmarshal(data, &n); err != nil {
+		return fmt.Errorf("sweep: bad duration %s", data)
+	}
+	*d = Duration(n)
+	return nil
+}
+
+// FailureMode names one failure schedule of the grid: the paper's single
+// permanent on-path failure by default, or repair/flap/multi-failure
+// variants (the §6 extensions).
+type FailureMode struct {
+	// Name labels the mode in cell IDs, journals and manifests.
+	Name string `json:"name"`
+	// RestoreAfter repairs the failed link this long after each failure.
+	RestoreAfter Duration `json:"restore_after,omitempty"`
+	// Flaps is how many times the primary link fails (needs RestoreAfter).
+	Flaps int `json:"flaps,omitempty"`
+	// ExtraFailAts schedules additional random live-link failures.
+	ExtraFailAts []Duration `json:"extra_fail_ats,omitempty"`
+	// FastReroute precomputes loop-free-alternate protection.
+	FastReroute bool `json:"fast_reroute,omitempty"`
+}
+
+// SingleFailure is the paper's failure model: one permanent on-path link
+// failure. It is the default when a spec lists no failure modes.
+func SingleFailure() FailureMode { return FailureMode{Name: "single"} }
+
+// apply overlays the failure mode on a config.
+func (f FailureMode) apply(cfg *core.Config) {
+	cfg.RestoreAfter = time.Duration(f.RestoreAfter)
+	cfg.Flaps = f.Flaps
+	cfg.FastReroute = f.FastReroute
+	cfg.ExtraFailAts = nil
+	for _, at := range f.ExtraFailAts {
+		cfg.ExtraFailAts = append(cfg.ExtraFailAts, time.Duration(at))
+	}
+}
+
+// Spec declares a sweep: the full grid is Protocols × Degrees × Failures,
+// each cell running Trials independent trials. The zero values of the
+// optional fields inherit the paper's §5 parameters (core.DefaultConfig).
+type Spec struct {
+	// Name labels the sweep in manifests and progress output.
+	Name string `json:"name,omitempty"`
+	// Protocols lists protocol names ("rip", "dbf", "bgp", "bgp3", "ls").
+	Protocols []string `json:"protocols"`
+	// Degrees lists the mesh node degrees to sweep.
+	Degrees []int `json:"degrees"`
+	// Trials is the per-cell trial count (paper: 100).
+	Trials int `json:"trials"`
+	// Seed is the base random seed (default 1).
+	Seed int64 `json:"seed,omitempty"`
+	// Failures lists the failure models; empty means the paper's single
+	// permanent failure.
+	Failures []FailureMode `json:"failures,omitempty"`
+	// End shortens or extends the simulation horizon (default: the
+	// paper's 800 s).
+	End Duration `json:"end,omitempty"`
+	// Base, when non-nil, replaces core.DefaultConfig() as the per-cell
+	// template (Go callers only; its Protocol, Degree, Trials, Seed and
+	// failure fields are overwritten by the grid).
+	Base *core.Config `json:"-"`
+}
+
+// Cell is one unit of the work plan: a fully-resolved experiment plus its
+// content-addressed key.
+type Cell struct {
+	// Protocol and Degree locate the cell in the grid.
+	Protocol core.ProtocolKind
+	Degree   int
+	// Failure is the cell's failure model.
+	Failure FailureMode
+	// Config is the fully-resolved experiment configuration.
+	Config core.Config
+	// Key is the cell's content-addressed cache key: a hash of the
+	// canonical Config and the module version.
+	Key string
+}
+
+// ID returns the cell's human-readable identifier, e.g. "dbf/d4/single".
+func (c *Cell) ID() string {
+	return fmt.Sprintf("%s/d%d/%s", c.Protocol, c.Degree, c.Failure.Name)
+}
+
+// LoadSpec reads a JSON sweep specification from a file.
+func LoadSpec(path string) (Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Spec{}, err
+	}
+	return ParseSpec(data)
+}
+
+// ParseSpec decodes a JSON sweep specification, rejecting unknown fields.
+func ParseSpec(data []byte) (Spec, error) {
+	var s Spec
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("sweep: parse spec: %w", err)
+	}
+	return s, nil
+}
+
+// base resolves the per-cell configuration template.
+func (s *Spec) base() core.Config {
+	cfg := core.DefaultConfig()
+	if s.Base != nil {
+		cfg = *s.Base
+	}
+	if s.Trials > 0 {
+		cfg.Trials = s.Trials
+	}
+	if s.Seed != 0 {
+		cfg.Seed = s.Seed
+	}
+	if s.End > 0 {
+		cfg.End = time.Duration(s.End)
+	}
+	return cfg
+}
+
+// Expand resolves the spec into its work plan: one Cell per point of the
+// Protocols × Degrees × Failures grid, each validated and keyed. The plan
+// order is deterministic (protocol-major, then degree, then failure).
+func (s *Spec) Expand() ([]Cell, error) {
+	if len(s.Protocols) == 0 {
+		return nil, fmt.Errorf("sweep: spec lists no protocols")
+	}
+	if len(s.Degrees) == 0 {
+		return nil, fmt.Errorf("sweep: spec lists no degrees")
+	}
+	failures := s.Failures
+	if len(failures) == 0 {
+		failures = []FailureMode{SingleFailure()}
+	}
+	for i, f := range failures {
+		if f.Name == "" {
+			return nil, fmt.Errorf("sweep: failure mode %d has no name", i)
+		}
+	}
+	base := s.base()
+	var cells []Cell
+	for _, name := range s.Protocols {
+		proto, err := core.ParseProtocol(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range s.Degrees {
+			for _, f := range failures {
+				cfg := base
+				cfg.Protocol = proto
+				cfg.Degree = d
+				f.apply(&cfg)
+				if err := cfg.Validate(); err != nil {
+					return nil, fmt.Errorf("sweep: cell %s/d%d/%s: %w", proto, d, f.Name, err)
+				}
+				key, err := CellKey(&cfg)
+				if err != nil {
+					return nil, fmt.Errorf("sweep: cell %s/d%d/%s: %w", proto, d, f.Name, err)
+				}
+				cells = append(cells, Cell{Protocol: proto, Degree: d, Failure: f, Config: cfg, Key: key})
+			}
+		}
+	}
+	return cells, nil
+}
+
+// ParseDegrees accepts "3-8", "3,4,5", or a mix like "3-5,8" and returns
+// the listed node degrees in order.
+func ParseDegrees(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if lo, hi, ok := strings.Cut(part, "-"); ok {
+			a, err1 := strconv.Atoi(strings.TrimSpace(lo))
+			b, err2 := strconv.Atoi(strings.TrimSpace(hi))
+			if err1 != nil || err2 != nil || a > b {
+				return nil, fmt.Errorf("sweep: bad degree range %q", part)
+			}
+			for d := a; d <= b; d++ {
+				out = append(out, d)
+			}
+			continue
+		}
+		d, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: bad degree %q", part)
+		}
+		out = append(out, d)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("sweep: no degrees in %q", s)
+	}
+	return out, nil
+}

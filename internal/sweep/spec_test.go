@@ -1,0 +1,175 @@
+package sweep
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"routeconv/internal/core"
+)
+
+func TestParseSpecJSON(t *testing.T) {
+	spec, err := ParseSpec([]byte(`{
+		"name": "grid",
+		"protocols": ["rip", "dbf"],
+		"degrees": [3, 4],
+		"trials": 5,
+		"seed": 7,
+		"end": "500s",
+		"failures": [
+			{"name": "single"},
+			{"name": "flap", "restore_after": "3s", "flaps": 5},
+			{"name": "multi", "extra_fail_ats": ["405s", 410000000000]}
+		]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Name != "grid" || spec.Trials != 5 || spec.Seed != 7 {
+		t.Errorf("spec scalars wrong: %+v", spec)
+	}
+	if time.Duration(spec.End) != 500*time.Second {
+		t.Errorf("End = %v", time.Duration(spec.End))
+	}
+	if len(spec.Failures) != 3 {
+		t.Fatalf("failures = %d", len(spec.Failures))
+	}
+	if d := time.Duration(spec.Failures[1].RestoreAfter); d != 3*time.Second {
+		t.Errorf("restore_after = %v", d)
+	}
+	if d := time.Duration(spec.Failures[2].ExtraFailAts[1]); d != 410*time.Second {
+		t.Errorf("numeric extra_fail_at = %v", d)
+	}
+
+	cells, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 2*2*3 {
+		t.Fatalf("expanded %d cells, want 12", len(cells))
+	}
+	// The grid overrides land in each resolved config.
+	c := cells[0]
+	if c.Config.Trials != 5 || c.Config.Seed != 7 || c.Config.End != 500*time.Second {
+		t.Errorf("cell config not resolved: %+v", c.Config)
+	}
+	if c.ID() != "rip/d3/single" {
+		t.Errorf("cell ID = %s", c.ID())
+	}
+}
+
+func TestParseSpecRejectsUnknownFields(t *testing.T) {
+	if _, err := ParseSpec([]byte(`{"protocols":["rip"],"degrees":[3],"trials":1,"bogus":true}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}
+
+func TestExpandValidates(t *testing.T) {
+	for _, spec := range []Spec{
+		{Degrees: []int{3}, Trials: 1},                                                                             // no protocols
+		{Protocols: []string{"rip"}, Trials: 1},                                                                    // no degrees
+		{Protocols: []string{"nonesuch"}, Degrees: []int{3}, Trials: 1},                                            // bad protocol
+		{Protocols: []string{"rip"}, Degrees: []int{3}, Trials: 1, Failures: []FailureMode{{}}},                    // unnamed failure
+		{Protocols: []string{"rip"}, Degrees: []int{3}, Trials: 1, Failures: []FailureMode{{Name: "f", Flaps: 3}}}, // flaps without restore
+	} {
+		if _, err := spec.Expand(); err == nil {
+			t.Errorf("Expand(%+v) succeeded, want error", spec)
+		}
+	}
+}
+
+// TestCellKeysGolden pins the content-addressed keys: the same spec must
+// produce the same cell keys across runs and across processes. If this
+// test fails because core.Config gained a field or the canonical encoding
+// changed, bump the expectation — that key change is exactly what
+// invalidates stale caches.
+func TestCellKeysGolden(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.Protocol = core.ProtoDBF
+	cfg.Degree = 4
+	cfg.Trials = 2
+	key, err := CellKeyAt(&cfg, "golden-v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = "e350df9ac395f835c64a13b9aa364c4e9315af113ac37962dcbd0f50cb9cc528"
+	if key != want {
+		t.Errorf("golden dbf key changed:\n got %s\nwant %s\n(an intentional Config or encoding change must update this golden)", key, want)
+	}
+	cfg.Protocol = core.ProtoRIP
+	key2, err := CellKeyAt(&cfg, "golden-v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const wantRIP = "6a09bdae1f5c1c3cde7f4d8ce47f7be39887a8f9f24041808dfd238dd7d77148"
+	if key2 != wantRIP {
+		t.Errorf("golden rip key changed:\n got %s\nwant %s", key2, wantRIP)
+	}
+	// Version participates in the key: a new module version invalidates.
+	key3, err := CellKeyAt(&cfg, "golden-v2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key3 == key2 {
+		t.Error("version change did not change the key")
+	}
+}
+
+func TestExpandKeysDeterministic(t *testing.T) {
+	spec := Spec{Protocols: []string{"rip", "dbf", "bgp3"}, Degrees: []int{3, 4, 5}, Trials: 3}
+	a, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) || len(a) != 9 {
+		t.Fatalf("plan sizes %d, %d", len(a), len(b))
+	}
+	seen := make(map[string]bool)
+	for i := range a {
+		if a[i].Key != b[i].Key {
+			t.Errorf("cell %s key differs across expansions", a[i].ID())
+		}
+		if seen[a[i].Key] {
+			t.Errorf("duplicate key for %s", a[i].ID())
+		}
+		seen[a[i].Key] = true
+	}
+}
+
+func TestParseDegrees(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []int
+		err  bool
+	}{
+		{"3-6", []int{3, 4, 5, 6}, false},
+		{"4", []int{4}, false},
+		{"3,5,8", []int{3, 5, 8}, false},
+		{"3-5,8", []int{3, 4, 5, 8}, false},
+		{" 3 , 4 ", []int{3, 4}, false},
+		{"", nil, true},
+		{"6-3", nil, true},
+		{"abc", nil, true},
+		{"3-x", nil, true},
+	}
+	for _, c := range cases {
+		got, err := ParseDegrees(c.in)
+		if c.err {
+			if err == nil {
+				t.Errorf("ParseDegrees(%q) = %v, want error", c.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseDegrees(%q): %v", c.in, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("ParseDegrees(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}

@@ -27,6 +27,8 @@
 package routeconv
 
 import (
+	"context"
+
 	"routeconv/internal/core"
 	"routeconv/internal/netsim"
 	"routeconv/internal/routing"
@@ -172,6 +174,13 @@ func DefaultDampingConfig() DampingConfig { return bgp.DefaultDampingConfig() }
 // Run executes one experiment: cfg.Trials independent simulations,
 // aggregated.
 func Run(cfg Config) (*Result, error) { return core.Run(cfg) }
+
+// RunContext is Run with cancellation: workers check ctx between trials,
+// so a cancelled experiment stops promptly. It returns ctx.Err() when
+// cancelled.
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
+	return core.RunContext(ctx, cfg)
+}
 
 // RunSweep executes a protocol × degree grid; progress (optional) receives
 // one line per completed cell.
