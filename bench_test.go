@@ -465,6 +465,25 @@ func BenchmarkTopology(b *testing.B) {
 	}
 }
 
+// BenchmarkConvergence measures one full trial of the paper's experiment
+// on the degree-4 mesh — topology build, protocol warm-up, failure,
+// convergence, measurement — per protocol. It is the headline number for
+// the hot-path perf trajectory (BENCH_pr3.json).
+func BenchmarkConvergence(b *testing.B) {
+	for _, proto := range []ProtocolKind{ProtoRIP, ProtoDBF, ProtoBGP, ProtoBGP3} {
+		b.Run(proto.String(), func(b *testing.B) {
+			cfg := benchConfig(proto, 4)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cfg.Seed = int64(i + 1)
+				if _, err := Run(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkSimulatorEvents measures the raw event-loop throughput
 // underlying every experiment.
 func BenchmarkSimulatorEvents(b *testing.B) {

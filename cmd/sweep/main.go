@@ -10,7 +10,7 @@
 //
 //	sweep [-spec spec.json] [-protocols rip,dbf,bgp,bgp3] [-degrees 3-10]
 //	      [-trials N] [-seed S] [-out DIR] [-cache DIR] [-workers N]
-//	      [-force] [-plan] [-q]
+//	      [-force] [-plan] [-q] [-cpuprofile FILE] [-memprofile FILE]
 //
 // Outputs, written atomically under -out: summary.{txt,csv} (the per-cell
 // headline metrics) and manifest.json (spec, module version, per-cell keys,
@@ -25,6 +25,8 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"syscall"
 
@@ -54,9 +56,37 @@ func run(ctx context.Context, args []string) error {
 		force         = fs.Bool("force", false, "re-execute every cell, ignoring cache and journal")
 		plan          = fs.Bool("plan", false, "print the expanded cell plan and exit without running")
 		quiet         = fs.Bool("q", false, "suppress progress output")
+		cpuProfile    = fs.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+		memProfile    = fs.String("memprofile", "", "write a heap profile to this file after the sweep")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sweep: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows retained memory
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "sweep: memprofile:", err)
+			}
+		}()
 	}
 
 	var spec sweep.Spec

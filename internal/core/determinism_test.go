@@ -1,0 +1,110 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// goldenConfig is the reference scenario pinned by TestGoldenTrialResults:
+// one trial of the paper's default degree-4 setup, seed 1, truncated to 60 s
+// past the failure so the whole table runs in seconds.
+func goldenConfig(k ProtocolKind) Config {
+	cfg := DefaultConfig()
+	cfg.Protocol = k
+	cfg.Trials = 1
+	cfg.End = cfg.FailAt + 60*time.Second
+	cfg.Seed = 1
+	return cfg
+}
+
+// TestGoldenTrialResults pins the exact outcome of one reference trial per
+// protocol. The values were captured from the original container/heap
+// engine before the pooled-arena rewrite; any engine or forwarding-path
+// change that shifts event ordering, random-number consumption, or drop
+// accounting shows up here as a diff, not as a silent behaviour change.
+func TestGoldenTrialResults(t *testing.T) {
+	type golden struct {
+		proto                         ProtocolKind
+		sent, delivered               int
+		noRoute, ttl, linkFail, queue int
+		routingConv, fwdConv          time.Duration
+		drops, routeChanges, paths    int
+	}
+	goldens := []golden{
+		{proto: ProtoRIP, sent: 1400, delivered: 1368, noRoute: 31, ttl: 0, linkFail: 1, queue: 0, routingConv: 43383678050, fwdConv: 5845547480, drops: 32, routeChanges: 3284, paths: 5},
+		{proto: ProtoDBF, sent: 1400, delivered: 1399, noRoute: 0, ttl: 0, linkFail: 1, queue: 0, routingConv: 13707179392, fwdConv: 50000000, drops: 1, routeChanges: 2834, paths: 4},
+		{proto: ProtoBGP, sent: 1400, delivered: 1399, noRoute: 0, ttl: 0, linkFail: 1, queue: 0, routingConv: 53643200, fwdConv: 52148800, drops: 1, routeChanges: 4010, paths: 6},
+		{proto: ProtoBGP3, sent: 1400, delivered: 1399, noRoute: 0, ttl: 0, linkFail: 1, queue: 0, routingConv: 3687125615, fwdConv: 50000000, drops: 1, routeChanges: 3917, paths: 6},
+		{proto: ProtoLS, sent: 1400, delivered: 1399, noRoute: 0, ttl: 0, linkFail: 1, queue: 0, routingConv: 54179200, fwdConv: 54179200, drops: 1, routeChanges: 2627, paths: 9},
+	}
+	for _, g := range goldens {
+		g := g
+		t.Run(g.proto.String(), func(t *testing.T) {
+			t.Parallel()
+			tr, c, err := Trace(goldenConfig(g.proto), 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tr.Sent != g.sent || tr.Delivered != g.delivered {
+				t.Errorf("sent/delivered = %d/%d, want %d/%d", tr.Sent, tr.Delivered, g.sent, g.delivered)
+			}
+			if tr.NoRouteDrops != g.noRoute || tr.TTLDrops != g.ttl ||
+				tr.LinkFailureDrops != g.linkFail || tr.QueueDrops != g.queue {
+				t.Errorf("drops (noRoute/ttl/linkFail/queue) = %d/%d/%d/%d, want %d/%d/%d/%d",
+					tr.NoRouteDrops, tr.TTLDrops, tr.LinkFailureDrops, tr.QueueDrops,
+					g.noRoute, g.ttl, g.linkFail, g.queue)
+			}
+			if tr.RoutingConvergence != g.routingConv {
+				t.Errorf("RoutingConvergence = %d, want %d", tr.RoutingConvergence, g.routingConv)
+			}
+			if tr.ForwardingConvergence != g.fwdConv {
+				t.Errorf("ForwardingConvergence = %d, want %d", tr.ForwardingConvergence, g.fwdConv)
+			}
+			if len(c.Drops) != g.drops {
+				t.Errorf("len(Drops) = %d, want %d", len(c.Drops), g.drops)
+			}
+			if len(c.RouteChanges) != g.routeChanges {
+				t.Errorf("len(RouteChanges) = %d, want %d", len(c.RouteChanges), g.routeChanges)
+			}
+			if len(c.PathHistory) != g.paths {
+				t.Errorf("len(PathHistory) = %d, want %d", len(c.PathHistory), g.paths)
+			}
+		})
+	}
+}
+
+// TestTraceRepeatable runs the same seeded trial twice and requires the
+// results to be identical down to every recorded event: same TrialResult
+// (compared textually so NaN delay bins compare equal), same drop vector,
+// same route-change and path-sample streams.
+func TestTraceRepeatable(t *testing.T) {
+	for _, k := range []ProtocolKind{ProtoRIP, ProtoBGP} {
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			t.Parallel()
+			cfg := goldenConfig(k)
+			tr1, c1, err := Trace(cfg, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr2, c2, err := Trace(cfg, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s1, s2 := fmt.Sprintf("%+v", tr1), fmt.Sprintf("%+v", tr2); s1 != s2 {
+				t.Errorf("TrialResult differs between identical runs:\n run1: %s\n run2: %s", s1, s2)
+			}
+			if !reflect.DeepEqual(c1.Drops, c2.Drops) {
+				t.Error("drop vectors differ between identical runs")
+			}
+			if !reflect.DeepEqual(c1.RouteChanges, c2.RouteChanges) {
+				t.Error("route-change streams differ between identical runs")
+			}
+			if !reflect.DeepEqual(c1.PathHistory, c2.PathHistory) {
+				t.Error("path-sample streams differ between identical runs")
+			}
+		})
+	}
+}

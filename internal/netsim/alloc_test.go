@@ -1,0 +1,30 @@
+package netsim
+
+import (
+	"testing"
+)
+
+// One-hop data forwarding must allocate exactly one object per packet: the
+// Packet itself. Port events, queue slots, and FIB lookups all reuse pooled
+// or dense storage.
+func TestForwardingOneHopAllocs(t *testing.T) {
+	s, net := benchLine(2)
+	src := net.Node(0)
+	// Warm up the event arena, the port ring, and the serialization cache.
+	for i := 0; i < 16; i++ {
+		src.SendData(1, 1000, 64)
+		s.Run()
+	}
+	before := net.Stats().DataDelivered
+	const runs = 1000
+	avg := testing.AllocsPerRun(runs, func() {
+		src.SendData(1, 1000, 64)
+		s.Run()
+	})
+	if avg > 1 {
+		t.Errorf("one-hop forwarding allocates %.1f objects per packet, want 1 (the Packet)", avg)
+	}
+	if got := net.Stats().DataDelivered - before; got < runs {
+		t.Fatalf("delivered %d packets during the guard, want ≥ %d", got, runs)
+	}
+}

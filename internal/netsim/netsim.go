@@ -66,6 +66,10 @@ func (s Stats) DataDropped() uint64 {
 	return total
 }
 
+// serCacheMax bounds the memoized serialization table; packets larger than
+// this (none in the study — jumbo frames end at 9 KB) compute directly.
+const serCacheMax = 1 << 16
+
 // Network is a set of nodes and links driven by a Simulator. Build one
 // with New or FromGraph, attach protocols, then Start it.
 type Network struct {
@@ -73,10 +77,18 @@ type Network struct {
 	cfg      Config
 	nodes    []*Node
 	links    map[topology.Edge]*Link
+	linkList []*Link // sorted by edge; nil when invalidated by Connect
 	observer Observer
 	stats    Stats
 	nextID   uint64
 	started  bool
+	// serCache memoizes serialization delay by packet size: the study's
+	// packet sizes are fixed per kind, so the division runs once per size.
+	serCache []time.Duration
+	// walkSeen/walkEpoch are WalkPath's loop-detection scratch; the epoch
+	// makes reuse O(1) instead of clearing per walk.
+	walkSeen  []uint32
+	walkEpoch uint32
 }
 
 // New returns an empty network using the given engine and link parameters.
@@ -116,10 +128,8 @@ func (n *Network) Len() int { return len(n.nodes) }
 // AddNode creates a new node and returns it.
 func (n *Network) AddNode() *Node {
 	node := &Node{
-		id:    NodeID(len(n.nodes)),
-		net:   n,
-		ports: make(map[NodeID]*port),
-		fib:   make(map[NodeID]NodeID),
+		id:  NodeID(len(n.nodes)),
+		net: n,
 	}
 	n.nodes = append(n.nodes, node)
 	return node
@@ -139,19 +149,24 @@ func (n *Network) Connect(a, b NodeID) *Link {
 	l := &Link{net: n, edge: e}
 	l.dir[0] = &port{owner: na, peer: nb, link: l}
 	l.dir[1] = &port{owner: nb, peer: na, link: l}
-	na.ports[b] = l.dir[0]
-	nb.ports[a] = l.dir[1]
+	na.setPort(b, l.dir[0])
+	nb.setPort(a, l.dir[1])
 	na.neighbors = insertSorted(na.neighbors, b)
 	nb.neighbors = insertSorted(nb.neighbors, a)
 	n.links[e] = l
+	n.linkList = nil
 	return l
 }
 
 // Link returns the link between a and b, or nil when none exists.
 func (n *Network) Link(a, b NodeID) *Link { return n.links[topology.NewEdge(a, b)] }
 
-// Links returns all links sorted by edge.
+// Links returns all links sorted by edge. The result is cached between
+// topology changes; callers must not modify it.
 func (n *Network) Links() []*Link {
+	if n.linkList != nil {
+		return n.linkList
+	}
 	edges := make([]topology.Edge, 0, len(n.links))
 	for e := range n.links {
 		edges = append(edges, e)
@@ -166,6 +181,7 @@ func (n *Network) Links() []*Link {
 	for i, e := range edges {
 		out[i] = n.links[e]
 	}
+	n.linkList = out
 	return out
 }
 
@@ -241,33 +257,57 @@ func (n *Network) notifyLink(l *Link, up bool) {
 // nodes visited, starting with src. ok is true only when the walk reaches
 // dst without encountering a missing route, a loop, or a down link.
 func (n *Network) WalkPath(src, dst NodeID) (path []NodeID, ok bool) {
-	seen := make(map[NodeID]bool)
+	if len(n.walkSeen) < len(n.nodes) {
+		n.walkSeen = make([]uint32, len(n.nodes))
+		n.walkEpoch = 0
+	}
+	n.walkEpoch++
+	if n.walkEpoch == 0 { // epoch wrapped: restart from a clean slate
+		clear(n.walkSeen)
+		n.walkEpoch = 1
+	}
+	epoch := n.walkEpoch
 	cur := src
 	for {
 		path = append(path, cur)
 		if cur == dst {
 			return path, true
 		}
-		if seen[cur] {
+		if n.walkSeen[cur] == epoch {
 			return path, false // loop
 		}
-		seen[cur] = true
+		n.walkSeen[cur] = epoch
 		node := n.nodes[cur]
-		nh, exists := node.fib[dst]
-		if !exists {
+		nh := node.fibGet(dst)
+		if nh == noRoute {
 			return path, false
 		}
-		p, attached := node.ports[nh]
-		if !attached || p.link.down {
+		p := node.portTo(nh)
+		if p == nil || p.link.down {
 			return path, false
 		}
 		cur = nh
 	}
 }
 
-// serialization returns the time to clock size bytes onto a link.
+// serialization returns the time to clock size bytes onto a link,
+// memoized per size.
 func (n *Network) serialization(size int) time.Duration {
-	return time.Duration(int64(size) * 8 * int64(time.Second) / n.cfg.LinkRateBps)
+	if size >= 0 && size < len(n.serCache) {
+		if d := n.serCache[size]; d != 0 {
+			return d
+		}
+	}
+	d := time.Duration(int64(size) * 8 * int64(time.Second) / n.cfg.LinkRateBps)
+	if size >= 0 && size < serCacheMax {
+		if size >= len(n.serCache) {
+			grown := make([]time.Duration, size+1)
+			copy(grown, n.serCache)
+			n.serCache = grown
+		}
+		n.serCache[size] = d
+	}
+	return d
 }
 
 func (n *Network) drop(where NodeID, pkt *Packet, reason DropReason) {
@@ -326,17 +366,30 @@ func (l *Link) Counters(from NodeID) PortCounters {
 	return PortCounters{}
 }
 
+// Typed port event kinds: the wire is modeled with two pooled events per
+// transmission instead of two heap-allocated closures.
+const (
+	// portSerDone: the last bit left the transmitter.
+	portSerDone int32 = iota
+	// portPropDone: the last bit arrived at the far end.
+	portPropDone
+)
+
 // port is one direction of a link: the transmitter owned by owner sending
-// toward peer.
+// toward peer. Its output queue is a power-of-two ring buffer.
 type port struct {
 	owner    *Node
 	peer     *Node
 	link     *Link
-	queue    []*Packet
-	inQ      int // data packets in queue
+	queue    []*Packet // ring; len is 0 or a power of two
+	head     int       // index of the oldest queued packet
+	count    int       // packets in the ring
+	inQ      int       // data packets in the ring
 	busy     bool
 	counters PortCounters
 }
+
+var _ sim.Handler = (*port)(nil)
 
 // send enqueues a packet for transmission, dropping data packets when the
 // data queue is full. Control packets are exempt from the cap (reliable
@@ -348,7 +401,7 @@ func (p *port) send(pkt *Packet) {
 			p.owner.net.drop(p.owner.id, pkt, DropQueueOverflow)
 			return
 		}
-		p.queue = append(p.queue, pkt)
+		p.push(pkt)
 		if !pkt.Control() {
 			p.inQ++
 		}
@@ -364,13 +417,19 @@ func (p *port) transmit(pkt *Packet) {
 	p.counters.TxPackets++
 	p.counters.TxBytes += uint64(pkt.Size)
 	net := p.owner.net
-	ser := net.serialization(pkt.Size)
-	net.sim.Schedule(ser, func() {
+	net.sim.ScheduleHandler(net.serialization(pkt.Size), p, portSerDone, pkt)
+}
+
+// HandleEvent implements sim.Handler: the serialization-done and
+// propagation-done phases of one packet's flight.
+func (p *port) HandleEvent(kind int32, data any) {
+	pkt := data.(*Packet)
+	net := p.owner.net
+	switch kind {
+	case portSerDone:
 		p.busy = false
-		if len(p.queue) > 0 {
-			next := p.queue[0]
-			copy(p.queue, p.queue[1:])
-			p.queue = p.queue[:len(p.queue)-1]
+		if p.count > 0 {
+			next := p.pop()
 			if !next.Control() {
 				p.inQ--
 			}
@@ -380,12 +439,39 @@ func (p *port) transmit(pkt *Packet) {
 			net.drop(p.owner.id, pkt, DropLinkFailure)
 			return
 		}
-		net.sim.Schedule(net.cfg.LinkDelay, func() {
-			if p.link.down {
-				net.drop(p.owner.id, pkt, DropLinkFailure)
-				return
-			}
-			p.peer.receive(p.owner.id, pkt)
-		})
-	})
+		net.sim.ScheduleHandler(net.cfg.LinkDelay, p, portPropDone, pkt)
+	case portPropDone:
+		if p.link.down {
+			net.drop(p.owner.id, pkt, DropLinkFailure)
+			return
+		}
+		p.peer.receive(p.owner.id, pkt)
+	}
+}
+
+// push appends to the ring, growing it when full.
+func (p *port) push(pkt *Packet) {
+	if p.count == len(p.queue) {
+		size := 2 * len(p.queue)
+		if size == 0 {
+			size = 8
+		}
+		grown := make([]*Packet, size)
+		for i := 0; i < p.count; i++ {
+			grown[i] = p.queue[(p.head+i)&(len(p.queue)-1)]
+		}
+		p.queue = grown
+		p.head = 0
+	}
+	p.queue[(p.head+p.count)&(len(p.queue)-1)] = pkt
+	p.count++
+}
+
+// pop removes and returns the oldest queued packet.
+func (p *port) pop() *Packet {
+	pkt := p.queue[p.head]
+	p.queue[p.head] = nil
+	p.head = (p.head + 1) & (len(p.queue) - 1)
+	p.count--
+	return pkt
 }

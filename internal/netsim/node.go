@@ -22,14 +22,20 @@ type Protocol interface {
 	LinkUp(neighbor NodeID)
 }
 
+// noRoute marks an empty FIB slot. Node IDs are contiguous from 0, so the
+// FIB and port table are dense slices indexed by NodeID rather than maps.
+const noRoute NodeID = -1
+
 // Node is a router: it owns a forwarding table (FIB), output ports, and
 // optionally a routing protocol that maintains the FIB.
 type Node struct {
-	id        NodeID
-	net       *Network
-	ports     map[NodeID]*port
+	id  NodeID
+	net *Network
+	// ports is indexed by neighbor ID; nil entries are non-neighbors.
+	ports     []*port
 	neighbors []NodeID // sorted; gives protocols a deterministic iteration order
-	fib       map[NodeID]NodeID
+	// fib is indexed by destination ID; noRoute entries are empty.
+	fib []NodeID
 	// backup holds precomputed protection next hops (fast reroute), in
 	// preference order: used the instant the primary is unusable, without
 	// waiting for protocol convergence.
@@ -50,11 +56,52 @@ func (nd *Node) Sim() *sim.Simulator { return nd.net.sim }
 // order. The slice is owned by the node; callers must not modify it.
 func (nd *Node) Neighbors() []NodeID { return nd.neighbors }
 
+// portTo returns the output port toward the given node, or nil when it is
+// not a neighbor.
+func (nd *Node) portTo(id NodeID) *port {
+	if int(id) < len(nd.ports) && id >= 0 {
+		return nd.ports[id]
+	}
+	return nil
+}
+
+// setPort installs the output port toward a new neighbor.
+func (nd *Node) setPort(id NodeID, p *port) {
+	if int(id) >= len(nd.ports) {
+		grown := make([]*port, id+1)
+		copy(grown, nd.ports)
+		nd.ports = grown
+	}
+	nd.ports[id] = p
+}
+
+// fibGet returns the FIB entry for dst, or noRoute.
+func (nd *Node) fibGet(dst NodeID) NodeID {
+	if int(dst) < len(nd.fib) && dst >= 0 {
+		return nd.fib[dst]
+	}
+	return noRoute
+}
+
+// fibSet writes the FIB entry for dst, growing the table on first sight of
+// a high destination ID.
+func (nd *Node) fibSet(dst, nextHop NodeID) {
+	if int(dst) >= len(nd.fib) {
+		grown := make([]NodeID, dst+1)
+		copy(grown, nd.fib)
+		for i := len(nd.fib); i < len(grown); i++ {
+			grown[i] = noRoute
+		}
+		nd.fib = grown
+	}
+	nd.fib[dst] = nextHop
+}
+
 // LinkUpTo reports whether the link to the neighbor is currently up.
 // It returns false for nodes that are not neighbors.
 func (nd *Node) LinkUpTo(neighbor NodeID) bool {
-	p, ok := nd.ports[neighbor]
-	return ok && !p.link.down
+	p := nd.portTo(neighbor)
+	return p != nil && !p.link.down
 }
 
 // AttachProtocol binds a protocol instance to the node. It must be called
@@ -72,29 +119,29 @@ func (nd *Node) Protocol() Protocol { return nd.proto }
 // SetRoute installs nextHop as the forwarding entry for dst. nextHop must
 // be a directly connected neighbor.
 func (nd *Node) SetRoute(dst, nextHop NodeID) {
-	if _, ok := nd.ports[nextHop]; !ok {
+	if nd.portTo(nextHop) == nil {
 		panic(fmt.Sprintf("netsim: node %d: next hop %d is not a neighbor", nd.id, nextHop))
 	}
-	if old, ok := nd.fib[dst]; ok && old == nextHop {
+	if nd.fibGet(dst) == nextHop {
 		return
 	}
-	nd.fib[dst] = nextHop
+	nd.fibSet(dst, nextHop)
 	nd.net.observer.RouteChanged(nd.net.sim.Now(), nd.id, dst, nextHop, false)
 }
 
 // ClearRoute removes the forwarding entry for dst, if any.
 func (nd *Node) ClearRoute(dst NodeID) {
-	if _, ok := nd.fib[dst]; !ok {
+	if nd.fibGet(dst) == noRoute {
 		return
 	}
-	delete(nd.fib, dst)
+	nd.fib[dst] = noRoute
 	nd.net.observer.RouteChanged(nd.net.sim.Now(), nd.id, dst, 0, true)
 }
 
 // NextHop returns the current forwarding entry for dst.
 func (nd *Node) NextHop(dst NodeID) (NodeID, bool) {
-	nh, ok := nd.fib[dst]
-	return nh, ok
+	nh := nd.fibGet(dst)
+	return nh, nh != noRoute
 }
 
 // SetBackupRoutes installs precomputed protection next hops for dst, in
@@ -105,7 +152,7 @@ func (nd *Node) NextHop(dst NodeID) (NodeID, bool) {
 // protocols. The first backup whose link is up wins.
 func (nd *Node) SetBackupRoutes(dst NodeID, nextHops []NodeID) {
 	for _, nh := range nextHops {
-		if _, ok := nd.ports[nh]; !ok {
+		if nd.portTo(nh) == nil {
 			panic(fmt.Sprintf("netsim: node %d: backup next hop %d is not a neighbor", nd.id, nh))
 		}
 	}
@@ -125,7 +172,7 @@ func (nd *Node) ClearBackupRoutes(dst NodeID) { delete(nd.backup, dst) }
 // metrics. An empty or single-entry set clears multipath forwarding.
 func (nd *Node) SetMultipath(dst NodeID, nextHops []NodeID) {
 	for _, nh := range nextHops {
-		if _, ok := nd.ports[nh]; !ok {
+		if nd.portTo(nh) == nil {
 			panic(fmt.Sprintf("netsim: node %d: multipath next hop %d is not a neighbor", nd.id, nh))
 		}
 	}
@@ -163,8 +210,8 @@ func (nd *Node) BackupRoutes(dst NodeID) []NodeID { return nd.backup[dst] }
 // The message rides the link like any packet (serialization, propagation,
 // loss on a failed link) but is exempt from the data queue cap.
 func (nd *Node) SendControl(to NodeID, msg Message) {
-	p, ok := nd.ports[to]
-	if !ok {
+	p := nd.portTo(to)
+	if p == nil {
 		panic(fmt.Sprintf("netsim: node %d: SendControl to non-neighbor %d", nd.id, to))
 	}
 	net := nd.net
@@ -235,27 +282,31 @@ func (nd *Node) receive(from NodeID, pkt *Packet) {
 // protection entry).
 func (nd *Node) forward(pkt *Packet) {
 	var p *port
-	if set := nd.multi[pkt.Dst]; len(set) > 1 {
-		// ECMP: start at the flow's hash slot and take the first next hop
-		// whose link is up.
-		start := flowHash(pkt.Src, pkt.Dst, len(set))
-		for i := range set {
-			if mp, attached := nd.ports[set[(start+i)%len(set)]]; attached && !mp.link.down {
-				p = mp
-				break
+	if nd.multi != nil {
+		if set := nd.multi[pkt.Dst]; len(set) > 1 {
+			// ECMP: start at the flow's hash slot and take the first next hop
+			// whose link is up.
+			start := flowHash(pkt.Src, pkt.Dst, len(set))
+			for i := range set {
+				if mp := nd.portTo(set[(start+i)%len(set)]); mp != nil && !mp.link.down {
+					p = mp
+					break
+				}
 			}
 		}
 	}
 	if p == nil {
-		if nh, ok := nd.fib[pkt.Dst]; ok {
+		if nh := nd.fibGet(pkt.Dst); nh != noRoute {
 			p = nd.ports[nh]
 		}
 	}
 	if p == nil || p.link.down {
-		for _, alt := range nd.backup[pkt.Dst] {
-			if ap, attached := nd.ports[alt]; attached && !ap.link.down {
-				p = ap
-				break
+		if nd.backup != nil {
+			for _, alt := range nd.backup[pkt.Dst] {
+				if ap := nd.portTo(alt); ap != nil && !ap.link.down {
+					p = ap
+					break
+				}
 			}
 		}
 	}
@@ -275,8 +326,10 @@ type CBR struct {
 	size     int
 	ttl      int
 	stopAt   time.Duration
-	event    *sim.Event
+	event    sim.Event
 }
+
+var _ sim.Handler = (*CBR)(nil)
 
 // StartCBR begins sending size-byte packets with the given TTL from node to
 // dst every interval, from virtual time start until stop (exclusive).
@@ -285,24 +338,24 @@ func StartCBR(node *Node, dst NodeID, interval time.Duration, size, ttl int, sta
 		panic("netsim: CBR interval must be positive")
 	}
 	c := &CBR{node: node, dst: dst, interval: interval, size: size, ttl: ttl, stopAt: stop}
-	c.event = node.Sim().ScheduleAt(start, c.tick)
+	c.event = node.Sim().ScheduleHandlerAt(start, c, 0, nil)
 	return c
 }
 
 // Stop halts the source.
 func (c *CBR) Stop() {
-	if c.event != nil {
-		c.event.Cancel()
-		c.event = nil
-	}
+	c.event.Cancel()
+	c.event = sim.Event{}
 }
 
-func (c *CBR) tick() {
+// HandleEvent implements sim.Handler: one tick sends one packet and
+// schedules the next, allocation-free.
+func (c *CBR) HandleEvent(int32, any) {
 	now := c.node.Sim().Now()
 	if now >= c.stopAt {
-		c.event = nil
+		c.event = sim.Event{}
 		return
 	}
 	c.node.SendData(c.dst, c.size, c.ttl)
-	c.event = c.node.Sim().Schedule(c.interval, c.tick)
+	c.event = c.node.Sim().ScheduleHandler(c.interval, c, 0, nil)
 }

@@ -23,8 +23,10 @@ type poisson struct {
 	meanInterval time.Duration
 	size, ttl    int
 	stopAt       time.Duration
-	event        *sim.Event
+	event        sim.Event
 }
+
+var _ sim.Handler = (*poisson)(nil)
 
 // StartPoisson begins a Poisson process of mean rate 1/meanInterval from
 // node to dst, running from start until stop.
@@ -33,26 +35,32 @@ func StartPoisson(node *Node, dst NodeID, meanInterval time.Duration, size, ttl 
 		panic("netsim: Poisson mean interval must be positive")
 	}
 	p := &poisson{node: node, dst: dst, meanInterval: meanInterval, size: size, ttl: ttl, stopAt: stop}
-	p.event = node.Sim().ScheduleAt(start, p.tick)
+	p.event = node.Sim().ScheduleHandlerAt(start, p, 0, nil)
 	return p
 }
 
 func (p *poisson) Stop() {
-	if p.event != nil {
-		p.event.Cancel()
-		p.event = nil
-	}
+	p.event.Cancel()
+	p.event = sim.Event{}
 }
 
-func (p *poisson) tick() {
+// HandleEvent implements sim.Handler: one tick sends one packet and draws
+// the next inter-arrival gap.
+func (p *poisson) HandleEvent(int32, any) {
 	now := p.node.Sim().Now()
 	if now >= p.stopAt {
-		p.event = nil
+		p.event = sim.Event{}
 		return
 	}
 	p.node.SendData(p.dst, p.size, p.ttl)
-	p.event = p.node.Sim().Schedule(exp(p.node.Sim(), p.meanInterval), p.tick)
+	p.event = p.node.Sim().ScheduleHandler(exp(p.node.Sim(), p.meanInterval), p, 0, nil)
 }
+
+// onOff event kinds.
+const (
+	onOffBegin int32 = iota
+	onOffTick
+)
 
 // onOff alternates exponentially distributed ON and OFF periods, sending
 // at a constant rate while ON (the classic bursty-traffic model).
@@ -65,8 +73,10 @@ type onOff struct {
 	stopAt          time.Duration
 	on              bool
 	until           time.Duration // end of the current period
-	event           *sim.Event
+	event           sim.Event
 }
+
+var _ sim.Handler = (*onOff)(nil)
 
 // StartOnOff begins a bursty source: ON periods (mean onMean) during which
 // packets flow every interval, separated by silent OFF periods (mean
@@ -80,14 +90,21 @@ func StartOnOff(node *Node, dst NodeID, interval, onMean, offMean time.Duration,
 		onMean: onMean, offMean: offMean,
 		size: size, ttl: ttl, stopAt: stop,
 	}
-	o.event = node.Sim().ScheduleAt(start, o.begin)
+	o.event = node.Sim().ScheduleHandlerAt(start, o, onOffBegin, nil)
 	return o
 }
 
 func (o *onOff) Stop() {
-	if o.event != nil {
-		o.event.Cancel()
-		o.event = nil
+	o.event.Cancel()
+	o.event = sim.Event{}
+}
+
+// HandleEvent implements sim.Handler, dispatching on the event kind.
+func (o *onOff) HandleEvent(kind int32, _ any) {
+	if kind == onOffBegin {
+		o.begin()
+	} else {
+		o.tick()
 	}
 }
 
@@ -95,7 +112,7 @@ func (o *onOff) Stop() {
 func (o *onOff) begin() {
 	now := o.node.Sim().Now()
 	if now >= o.stopAt {
-		o.event = nil
+		o.event = sim.Event{}
 		return
 	}
 	o.on = true
@@ -106,17 +123,17 @@ func (o *onOff) begin() {
 func (o *onOff) tick() {
 	now := o.node.Sim().Now()
 	if now >= o.stopAt {
-		o.event = nil
+		o.event = sim.Event{}
 		return
 	}
 	if now >= o.until {
 		// Go silent, then begin the next burst.
 		o.on = false
-		o.event = o.node.Sim().Schedule(exp(o.node.Sim(), o.offMean), o.begin)
+		o.event = o.node.Sim().ScheduleHandler(exp(o.node.Sim(), o.offMean), o, onOffBegin, nil)
 		return
 	}
 	o.node.SendData(o.dst, o.size, o.ttl)
-	o.event = o.node.Sim().Schedule(o.interval, o.tick)
+	o.event = o.node.Sim().ScheduleHandler(o.interval, o, onOffTick, nil)
 }
 
 // exp draws an exponentially distributed duration with the given mean from

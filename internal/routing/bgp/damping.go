@@ -46,7 +46,7 @@ type flapState struct {
 	penalty    float64
 	updatedAt  time.Duration
 	suppressed bool
-	reuse      *sim.Event
+	reuse      sim.Event
 }
 
 // damper implements the flap-damping state machine for one BGP speaker.
@@ -148,7 +148,7 @@ func (d *damper) scheduleReuse(neighbor, dst routing.NodeID, st *flapState) {
 	wait := d.timeToReuse(st.penalty)
 	st.reuse = d.sim.Schedule(wait, func() {
 		st.suppressed = false
-		st.reuse = nil
+		st.reuse = sim.Event{}
 		d.onReuse(neighbor, dst)
 	})
 }

@@ -9,7 +9,6 @@
 package dbf
 
 import (
-	"sort"
 	"time"
 
 	"routeconv/internal/netsim"
@@ -20,11 +19,15 @@ import (
 // housekeepInterval is how often neighbor liveness is scanned.
 const housekeepInterval = time.Second
 
+// cacheAbsent marks a destination never heard from a neighbor.
+const cacheAbsent = -1
+
 // best is the computed route for one destination.
 type best struct {
 	metric  int
 	nextHop routing.NodeID
 	changed bool // included in the next triggered update
+	valid   bool // slot holds a live entry
 }
 
 // Protocol is a DBF speaker bound to one node.
@@ -32,13 +35,20 @@ type Protocol struct {
 	node *netsim.Node
 	cfg  routing.VectorConfig
 	// cache holds, per neighbor, the latest metric heard per destination
-	// (after the neighbor's split-horizon processing).
-	cache     map[routing.NodeID]map[routing.NodeID]int
+	// (after the neighbor's split-horizon processing). Both dimensions are
+	// dense, indexed by node ID, with cacheAbsent marking unheard entries.
+	cache     [][]int32
 	lastHeard map[routing.NodeID]time.Duration
-	table     map[routing.NodeID]*best
-	up        map[routing.NodeID]bool
-	adv       *routing.Advertiser
-	hk        *sim.Timer
+	// table is dense, indexed by destination ID; invalid slots are absent.
+	table []best
+	// known records every destination ever present in the table or a
+	// neighbor cache. It is monotone: entries are never unlearned, which is
+	// behaviour-neutral because recompute and sendTable both no-op for a
+	// destination with no table entry and no cached vector.
+	known []bool
+	up    map[routing.NodeID]bool
+	adv   *routing.Advertiser
+	hk    *sim.Timer
 }
 
 var _ netsim.Protocol = (*Protocol)(nil)
@@ -48,9 +58,7 @@ func New(node *netsim.Node, cfg routing.VectorConfig) *Protocol {
 	p := &Protocol{
 		node:      node,
 		cfg:       cfg,
-		cache:     make(map[routing.NodeID]map[routing.NodeID]int),
 		lastHeard: make(map[routing.NodeID]time.Duration),
-		table:     make(map[routing.NodeID]*best),
 		up:        make(map[routing.NodeID]bool),
 	}
 	p.adv = routing.NewAdvertiser(node.Sim(), &p.cfg, p.broadcastFull, p.broadcastChanged)
@@ -66,20 +74,95 @@ func Factory(cfg routing.VectorConfig) func(*netsim.Node) netsim.Protocol {
 // Table returns the computed metric and next hop for dst. Exposed for
 // tests and tools.
 func (p *Protocol) Table(dst routing.NodeID) (metric int, nextHop routing.NodeID, ok bool) {
-	b, ok := p.table[dst]
-	if !ok {
+	b := p.entry(dst)
+	if b == nil {
 		return 0, 0, false
 	}
 	return b.metric, b.nextHop, true
 }
 
+// entry returns the live table entry for dst, or nil.
+func (p *Protocol) entry(dst routing.NodeID) *best {
+	if dst >= 0 && int(dst) < len(p.table) && p.table[dst].valid {
+		return &p.table[dst]
+	}
+	return nil
+}
+
+// insert claims the table slot for dst, growing on demand, and returns it
+// zeroed with valid set.
+func (p *Protocol) insert(dst routing.NodeID) *best {
+	if int(dst) >= len(p.table) {
+		grown := make([]best, dst+1)
+		copy(grown, p.table)
+		p.table = grown
+	}
+	p.table[dst] = best{valid: true}
+	p.markKnown(dst)
+	return &p.table[dst]
+}
+
+// markKnown records dst in the known set.
+func (p *Protocol) markKnown(dst routing.NodeID) {
+	if int(dst) >= len(p.known) {
+		grown := make([]bool, dst+1)
+		copy(grown, p.known)
+		p.known = grown
+	}
+	p.known[dst] = true
+}
+
+// cacheGet returns the metric last heard from neighbor n for dst.
+func (p *Protocol) cacheGet(n, dst routing.NodeID) (int, bool) {
+	if int(n) < len(p.cache) {
+		c := p.cache[n]
+		if int(dst) < len(c) && c[dst] != cacheAbsent {
+			return int(c[dst]), true
+		}
+	}
+	return 0, false
+}
+
+// cacheSet records the metric heard from neighbor n for dst, growing both
+// cache dimensions on demand.
+func (p *Protocol) cacheSet(n, dst routing.NodeID, m int) {
+	if int(n) >= len(p.cache) {
+		grown := make([][]int32, n+1)
+		copy(grown, p.cache)
+		p.cache = grown
+	}
+	c := p.cache[n]
+	if int(dst) >= len(c) {
+		grown := make([]int32, dst+1)
+		for i := range grown {
+			grown[i] = cacheAbsent
+		}
+		copy(grown, c)
+		p.cache[n] = grown
+		c = grown
+	}
+	c[dst] = int32(m)
+	p.markKnown(dst)
+}
+
+// clearCache forgets everything heard from neighbor n, keeping the
+// allocation for reuse.
+func (p *Protocol) clearCache(n routing.NodeID) {
+	if int(n) < len(p.cache) {
+		c := p.cache[n]
+		for i := range c {
+			c[i] = cacheAbsent
+		}
+	}
+}
+
 // Start implements netsim.Protocol.
 func (p *Protocol) Start() {
 	self := p.node.ID()
-	p.table[self] = &best{metric: 0, nextHop: self}
+	b := p.insert(self)
+	b.metric, b.nextHop = 0, self
 	for _, n := range p.node.Neighbors() {
 		p.up[n] = true
-		p.cache[n] = make(map[routing.NodeID]int)
 	}
 	p.adv.Start()
 	p.hk.Reset(housekeepInterval)
@@ -92,11 +175,6 @@ func (p *Protocol) HandleMessage(from routing.NodeID, msg netsim.Message) {
 	if !ok {
 		return
 	}
-	c := p.cache[from]
-	if c == nil {
-		c = make(map[routing.NodeID]int)
-		p.cache[from] = c
-	}
 	p.lastHeard[from] = p.node.Sim().Now()
 	changedAny := false
 	for _, e := range u.Entries {
@@ -104,10 +182,10 @@ func (p *Protocol) HandleMessage(from routing.NodeID, msg netsim.Message) {
 		if m > p.cfg.Infinity {
 			m = p.cfg.Infinity
 		}
-		if old, seen := c[e.Dst]; seen && old == m {
+		if old, seen := p.cacheGet(from, e.Dst); seen && old == m {
 			continue
 		}
-		c[e.Dst] = m
+		p.cacheSet(from, e.Dst, m)
 		if p.recompute(e.Dst) {
 			changedAny = true
 		}
@@ -124,14 +202,14 @@ func (p *Protocol) recompute(dst routing.NodeID) bool {
 	if dst == p.node.ID() {
 		return false
 	}
-	cur := p.table[dst]
+	cur := p.entry(dst)
 	bestMetric := p.cfg.Infinity
 	bestNext := routing.NodeID(-1)
 	for _, n := range p.node.Neighbors() {
 		if !p.up[n] {
 			continue
 		}
-		heard, ok := p.cache[n][dst]
+		heard, ok := p.cacheGet(n, dst)
 		if !ok {
 			continue
 		}
@@ -158,7 +236,8 @@ func (p *Protocol) recompute(dst routing.NodeID) bool {
 		return true
 
 	case cur == nil:
-		p.table[dst] = &best{metric: bestMetric, nextHop: bestNext, changed: true}
+		b := p.insert(dst)
+		b.metric, b.nextHop, b.changed = bestMetric, bestNext, true
 		p.node.SetRoute(dst, bestNext)
 		return true
 
@@ -188,7 +267,7 @@ func (p *Protocol) installMultipath(dst routing.NodeID, bestMetric int) {
 		if !p.up[n] {
 			continue
 		}
-		if heard, ok := p.cache[n][dst]; ok && heard+1 == bestMetric {
+		if heard, ok := p.cacheGet(n, dst); ok && heard+1 == bestMetric {
 			set = append(set, n)
 		}
 	}
@@ -200,22 +279,22 @@ func (p *Protocol) installMultipath(dst routing.NodeID, bestMetric int) {
 // alternates where the cache holds any.
 func (p *Protocol) LinkDown(neighbor routing.NodeID) {
 	p.up[neighbor] = false
-	delete(p.cache, neighbor)
+	p.clearCache(neighbor)
 	p.recomputeAll()
 }
 
 // LinkUp implements netsim.Protocol.
 func (p *Protocol) LinkUp(neighbor routing.NodeID) {
 	p.up[neighbor] = true
-	p.cache[neighbor] = make(map[routing.NodeID]int)
+	p.clearCache(neighbor)
 	p.sendTable(neighbor, false)
 }
 
 // recomputeAll re-minimizes every known destination.
 func (p *Protocol) recomputeAll() {
 	changedAny := false
-	for _, dst := range p.knownDsts() {
-		if p.recompute(dst) {
+	for dst := routing.NodeID(0); int(dst) < len(p.known); dst++ {
+		if p.known[dst] && p.recompute(dst) {
 			changedAny = true
 		}
 	}
@@ -233,7 +312,7 @@ func (p *Protocol) housekeep() {
 		}
 		heard, ok := p.lastHeard[n]
 		if ok && now-heard > p.cfg.Timeout {
-			p.cache[n] = make(map[routing.NodeID]int)
+			p.clearCache(n)
 			delete(p.lastHeard, n)
 			p.recomputeAll()
 		}
@@ -263,8 +342,11 @@ func (p *Protocol) broadcastChanged() {
 // split horizon (poisoned reverse when configured).
 func (p *Protocol) sendTable(to routing.NodeID, changedOnly bool) {
 	var entries []routing.VectorEntry
-	for _, dst := range p.knownDsts() {
-		b := p.table[dst]
+	for dst := routing.NodeID(0); int(dst) < len(p.known); dst++ {
+		if !p.known[dst] {
+			continue
+		}
+		b := p.entry(dst)
 		if b == nil || (changedOnly && !b.changed) {
 			continue
 		}
@@ -283,27 +365,7 @@ func (p *Protocol) sendTable(to routing.NodeID, changedOnly bool) {
 }
 
 func (p *Protocol) clearChanged() {
-	for _, b := range p.table {
-		b.changed = false
+	for i := range p.table {
+		p.table[i].changed = false
 	}
-}
-
-// knownDsts returns every destination present in the table or any cache,
-// in ascending order for determinism.
-func (p *Protocol) knownDsts() []routing.NodeID {
-	set := make(map[routing.NodeID]bool, len(p.table))
-	for d := range p.table {
-		set[d] = true
-	}
-	for _, c := range p.cache {
-		for d := range c {
-			set[d] = true
-		}
-	}
-	dsts := make([]routing.NodeID, 0, len(set))
-	for d := range set {
-		dsts = append(dsts, d)
-	}
-	sort.Slice(dsts, func(i, j int) bool { return dsts[i] < dsts[j] })
-	return dsts
 }

@@ -10,7 +10,6 @@
 package rip
 
 import (
-	"sort"
 	"time"
 
 	"routeconv/internal/netsim"
@@ -29,13 +28,17 @@ type route struct {
 	expire  time.Duration // deadline after which the route times out
 	gcAt    time.Duration // when an unreachable route is deleted
 	changed bool          // included in the next triggered update
+	valid   bool          // slot holds a live entry
 }
 
 // Protocol is a RIP speaker bound to one node.
 type Protocol struct {
-	node  *netsim.Node
-	cfg   routing.VectorConfig
-	table map[routing.NodeID]*route
+	node *netsim.Node
+	cfg  routing.VectorConfig
+	// table is dense, indexed by destination ID (node IDs are contiguous
+	// from 0); invalid slots are absent entries. Ascending index iteration
+	// gives the same deterministic order a sorted key list would.
+	table []route
 	up    map[routing.NodeID]bool
 	adv   *routing.Advertiser
 	hk    *sim.Timer
@@ -47,10 +50,9 @@ var _ netsim.Protocol = (*Protocol)(nil)
 // node.AttachProtocol before the network starts.
 func New(node *netsim.Node, cfg routing.VectorConfig) *Protocol {
 	p := &Protocol{
-		node:  node,
-		cfg:   cfg,
-		table: make(map[routing.NodeID]*route),
-		up:    make(map[routing.NodeID]bool),
+		node: node,
+		cfg:  cfg,
+		up:   make(map[routing.NodeID]bool),
 	}
 	p.adv = routing.NewAdvertiser(node.Sim(), &p.cfg, p.broadcastFull, p.broadcastChanged)
 	p.hk = sim.NewTimer(node.Sim(), p.housekeep)
@@ -66,17 +68,38 @@ func Factory(cfg routing.VectorConfig) func(*netsim.Node) netsim.Protocol {
 // Table returns the current metric and next hop for dst, with ok reporting
 // whether a route (reachable or not) exists. Exposed for tests and tools.
 func (p *Protocol) Table(dst routing.NodeID) (metric int, nextHop routing.NodeID, ok bool) {
-	rt, ok := p.table[dst]
-	if !ok {
+	rt := p.route(dst)
+	if rt == nil {
 		return 0, 0, false
 	}
 	return rt.metric, rt.nextHop, true
 }
 
+// route returns the live entry for dst, or nil.
+func (p *Protocol) route(dst routing.NodeID) *route {
+	if dst >= 0 && int(dst) < len(p.table) && p.table[dst].valid {
+		return &p.table[dst]
+	}
+	return nil
+}
+
+// insert claims the slot for dst, growing the table on demand, and returns
+// it zeroed with valid set.
+func (p *Protocol) insert(dst routing.NodeID) *route {
+	if int(dst) >= len(p.table) {
+		grown := make([]route, dst+1)
+		copy(grown, p.table)
+		p.table = grown
+	}
+	p.table[dst] = route{valid: true}
+	return &p.table[dst]
+}
+
 // Start implements netsim.Protocol.
 func (p *Protocol) Start() {
 	self := p.node.ID()
-	p.table[self] = &route{metric: 0, nextHop: self}
+	rt := p.insert(self)
+	rt.metric, rt.nextHop = 0, self
 	for _, n := range p.node.Neighbors() {
 		p.up[n] = true
 	}
@@ -115,13 +138,14 @@ func (p *Protocol) processEntry(from routing.NodeID, e routing.VectorEntry, now 
 	if metric > p.cfg.Infinity {
 		metric = p.cfg.Infinity
 	}
-	rt := p.table[e.Dst]
+	rt := p.route(e.Dst)
 	switch {
 	case rt == nil:
 		if metric >= p.cfg.Infinity {
 			return false
 		}
-		p.table[e.Dst] = &route{metric: metric, nextHop: from, expire: now + p.cfg.Timeout, changed: true}
+		rt = p.insert(e.Dst)
+		rt.metric, rt.nextHop, rt.expire, rt.changed = metric, from, now+p.cfg.Timeout, true
 		p.node.SetRoute(e.Dst, from)
 		return true
 
@@ -168,9 +192,9 @@ func (p *Protocol) LinkDown(neighbor routing.NodeID) {
 	p.up[neighbor] = false
 	now := p.node.Sim().Now()
 	changedAny := false
-	for _, dst := range p.sortedDsts() {
-		rt := p.table[dst]
-		if rt.nextHop != neighbor || rt.metric >= p.cfg.Infinity {
+	for dst := routing.NodeID(0); int(dst) < len(p.table); dst++ {
+		rt := &p.table[dst]
+		if !rt.valid || rt.nextHop != neighbor || rt.metric >= p.cfg.Infinity {
 			continue
 		}
 		rt.metric = p.cfg.Infinity
@@ -195,9 +219,9 @@ func (p *Protocol) LinkUp(neighbor routing.NodeID) {
 func (p *Protocol) housekeep() {
 	now := p.node.Sim().Now()
 	changedAny := false
-	for _, dst := range p.sortedDsts() {
-		rt := p.table[dst]
-		if dst == p.node.ID() {
+	for dst := routing.NodeID(0); int(dst) < len(p.table); dst++ {
+		rt := &p.table[dst]
+		if !rt.valid || dst == p.node.ID() {
 			continue
 		}
 		if rt.metric < p.cfg.Infinity && now >= rt.expire {
@@ -208,7 +232,7 @@ func (p *Protocol) housekeep() {
 			changedAny = true
 		}
 		if rt.metric >= p.cfg.Infinity && rt.gcAt > 0 && now >= rt.gcAt {
-			delete(p.table, dst)
+			rt.valid = false
 		}
 	}
 	if changedAny {
@@ -242,9 +266,9 @@ func (p *Protocol) broadcastChanged() {
 // applying split horizon (with poisoned reverse when configured).
 func (p *Protocol) sendTable(to routing.NodeID, changedOnly bool) {
 	var entries []routing.VectorEntry
-	for _, dst := range p.sortedDsts() {
-		rt := p.table[dst]
-		if changedOnly && !rt.changed {
+	for dst := routing.NodeID(0); int(dst) < len(p.table); dst++ {
+		rt := &p.table[dst]
+		if !rt.valid || (changedOnly && !rt.changed) {
 			continue
 		}
 		metric := rt.metric
@@ -262,18 +286,7 @@ func (p *Protocol) sendTable(to routing.NodeID, changedOnly bool) {
 }
 
 func (p *Protocol) clearChanged() {
-	for _, rt := range p.table {
-		rt.changed = false
+	for i := range p.table {
+		p.table[i].changed = false
 	}
-}
-
-// sortedDsts returns the table's destinations in ascending order so that
-// behaviour never depends on map iteration order.
-func (p *Protocol) sortedDsts() []routing.NodeID {
-	dsts := make([]routing.NodeID, 0, len(p.table))
-	for d := range p.table {
-		dsts = append(dsts, d)
-	}
-	sort.Slice(dsts, func(i, j int) bool { return dsts[i] < dsts[j] })
-	return dsts
 }

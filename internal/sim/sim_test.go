@@ -225,7 +225,7 @@ func TestPropertyCancelSubset(t *testing.T) {
 		s := New(1)
 		rng := rand.New(rand.NewSource(seed))
 		fired := make(map[int]bool)
-		events := make([]*Event, n)
+		events := make([]Event, n)
 		cancelled := make(map[int]bool)
 		for i := 0; i < int(n); i++ {
 			i := i

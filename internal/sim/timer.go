@@ -8,7 +8,7 @@ import "time"
 type Timer struct {
 	sim   *Simulator
 	fn    func()
-	event *Event
+	event Event
 }
 
 // NewTimer returns a stopped timer that will run fn when it fires.
@@ -19,11 +19,13 @@ func NewTimer(s *Simulator, fn func()) *Timer {
 	return &Timer{sim: s, fn: fn}
 }
 
+var _ Handler = (*Timer)(nil)
+
 // Reset (re)arms the timer to fire after d. Any previously pending firing is
 // cancelled first.
 func (t *Timer) Reset(d time.Duration) {
 	t.Stop()
-	t.event = t.sim.Schedule(d, t.fire)
+	t.event = t.sim.ScheduleHandler(d, t, 0, nil)
 }
 
 // ResetIfStopped arms the timer to fire after d only if it is not already
@@ -32,32 +34,27 @@ func (t *Timer) ResetIfStopped(d time.Duration) bool {
 	if t.Pending() {
 		return false
 	}
-	t.event = t.sim.Schedule(d, t.fire)
+	t.event = t.sim.ScheduleHandler(d, t, 0, nil)
 	return true
 }
 
 // Stop cancels any pending firing. It is safe to call on a stopped timer.
 func (t *Timer) Stop() {
-	if t.event != nil {
-		t.event.Cancel()
-		t.event = nil
-	}
+	t.event.Cancel()
+	t.event = Event{}
 }
 
 // Pending reports whether the timer is armed and has not yet fired.
-func (t *Timer) Pending() bool { return t.event != nil && !t.event.Cancelled() }
+func (t *Timer) Pending() bool { return t.event.Pending() }
 
 // Deadline returns the virtual time of the pending firing. It is only
 // meaningful when Pending reports true.
-func (t *Timer) Deadline() time.Duration {
-	if t.event == nil {
-		return 0
-	}
-	return t.event.Time()
-}
+func (t *Timer) Deadline() time.Duration { return t.event.Time() }
 
-func (t *Timer) fire() {
-	t.event = nil
+// HandleEvent implements Handler; scheduling the timer through a typed
+// event rather than a closure keeps Reset allocation-free.
+func (t *Timer) HandleEvent(int32, any) {
+	t.event = Event{}
 	t.fn()
 }
 
