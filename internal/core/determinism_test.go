@@ -5,6 +5,8 @@ import (
 	"reflect"
 	"testing"
 	"time"
+
+	"routeconv/internal/routing/bgp"
 )
 
 // goldenConfig is the reference scenario pinned by TestGoldenTrialResults:
@@ -19,31 +21,53 @@ func goldenConfig(k ProtocolKind) Config {
 	return cfg
 }
 
+// goldenDampingConfig is the flap-damping reference scenario: BGP3 with
+// RFC 2439 damping on a link that flaps five times. It exercises the
+// damper's penalty/suppression state machine and its reuse timers, so the
+// path-interning and dense-RIB rewrite is pinned on this configuration
+// too.
+func goldenDampingConfig() Config {
+	cfg := goldenConfig(ProtoBGP3)
+	cfg.RestoreAfter = 3 * time.Second
+	cfg.Flaps = 5
+	dcfg := bgp.DefaultDampingConfig()
+	dcfg.HalfLife = 60 * time.Second
+	cfg.BGP3.Damping = &dcfg
+	return cfg
+}
+
 // TestGoldenTrialResults pins the exact outcome of one reference trial per
-// protocol. The values were captured from the original container/heap
-// engine before the pooled-arena rewrite; any engine or forwarding-path
-// change that shifts event ordering, random-number consumption, or drop
-// accounting shows up here as a diff, not as a silent behaviour change.
+// protocol configuration. The values were captured from the original
+// container/heap engine before the pooled-arena rewrite (the bgp3-damping
+// row from the map-based BGP RIBs before the interning rewrite); any
+// engine or forwarding-path change that shifts event ordering,
+// random-number consumption, or drop accounting shows up here as a diff,
+// not as a silent behaviour change.
 func TestGoldenTrialResults(t *testing.T) {
 	type golden struct {
-		proto                         ProtocolKind
+		name                          string
+		config                        func() Config
 		sent, delivered               int
 		noRoute, ttl, linkFail, queue int
 		routingConv, fwdConv          time.Duration
 		drops, routeChanges, paths    int
 	}
+	configFor := func(k ProtocolKind) func() Config {
+		return func() Config { return goldenConfig(k) }
+	}
 	goldens := []golden{
-		{proto: ProtoRIP, sent: 1400, delivered: 1368, noRoute: 31, ttl: 0, linkFail: 1, queue: 0, routingConv: 43383678050, fwdConv: 5845547480, drops: 32, routeChanges: 3284, paths: 5},
-		{proto: ProtoDBF, sent: 1400, delivered: 1399, noRoute: 0, ttl: 0, linkFail: 1, queue: 0, routingConv: 13707179392, fwdConv: 50000000, drops: 1, routeChanges: 2834, paths: 4},
-		{proto: ProtoBGP, sent: 1400, delivered: 1399, noRoute: 0, ttl: 0, linkFail: 1, queue: 0, routingConv: 53643200, fwdConv: 52148800, drops: 1, routeChanges: 4010, paths: 6},
-		{proto: ProtoBGP3, sent: 1400, delivered: 1399, noRoute: 0, ttl: 0, linkFail: 1, queue: 0, routingConv: 3687125615, fwdConv: 50000000, drops: 1, routeChanges: 3917, paths: 6},
-		{proto: ProtoLS, sent: 1400, delivered: 1399, noRoute: 0, ttl: 0, linkFail: 1, queue: 0, routingConv: 54179200, fwdConv: 54179200, drops: 1, routeChanges: 2627, paths: 9},
+		{name: "rip", config: configFor(ProtoRIP), sent: 1400, delivered: 1368, noRoute: 31, ttl: 0, linkFail: 1, queue: 0, routingConv: 43383678050, fwdConv: 5845547480, drops: 32, routeChanges: 3284, paths: 5},
+		{name: "dbf", config: configFor(ProtoDBF), sent: 1400, delivered: 1399, noRoute: 0, ttl: 0, linkFail: 1, queue: 0, routingConv: 13707179392, fwdConv: 50000000, drops: 1, routeChanges: 2834, paths: 4},
+		{name: "bgp", config: configFor(ProtoBGP), sent: 1400, delivered: 1399, noRoute: 0, ttl: 0, linkFail: 1, queue: 0, routingConv: 53643200, fwdConv: 52148800, drops: 1, routeChanges: 4010, paths: 6},
+		{name: "bgp3", config: configFor(ProtoBGP3), sent: 1400, delivered: 1399, noRoute: 0, ttl: 0, linkFail: 1, queue: 0, routingConv: 3687125615, fwdConv: 50000000, drops: 1, routeChanges: 3917, paths: 6},
+		{name: "ls", config: configFor(ProtoLS), sent: 1400, delivered: 1399, noRoute: 0, ttl: 0, linkFail: 1, queue: 0, routingConv: 54179200, fwdConv: 54179200, drops: 1, routeChanges: 2627, paths: 9},
+		{name: "bgp3-damping", config: goldenDampingConfig, sent: 1400, delivered: 517, noRoute: 880, ttl: 0, linkFail: 3, queue: 0, routingConv: 27055108000, fwdConv: 15965003379, drops: 883, routeChanges: 4733, paths: 15},
 	}
 	for _, g := range goldens {
 		g := g
-		t.Run(g.proto.String(), func(t *testing.T) {
+		t.Run(g.name, func(t *testing.T) {
 			t.Parallel()
-			tr, c, err := Trace(goldenConfig(g.proto), 0)
+			tr, c, err := Trace(g.config(), 0)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -317,6 +317,9 @@ func (n *Network) drop(where NodeID, pkt *Packet, reason DropReason) {
 		n.stats.DataDrops[reason]++
 	}
 	n.observer.PacketDropped(n.sim.Now(), where, pkt, reason)
+	if pm, ok := pkt.Payload.(PooledMessage); ok {
+		pm.Release()
+	}
 }
 
 func insertSorted(s []NodeID, v NodeID) []NodeID {

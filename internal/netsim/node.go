@@ -52,6 +52,11 @@ func (nd *Node) ID() NodeID { return nd.id }
 // Sim returns the driving simulator, for protocol timers and randomness.
 func (nd *Node) Sim() *sim.Simulator { return nd.net.sim }
 
+// NetworkSize returns the number of nodes in the network. Node IDs are
+// contiguous from 0, so protocols use it to size dense per-destination
+// tables up front.
+func (nd *Node) NetworkSize() int { return len(nd.net.nodes) }
+
 // Neighbors returns the node's directly connected neighbors in ascending ID
 // order. The slice is owned by the node; callers must not modify it.
 func (nd *Node) Neighbors() []NodeID { return nd.neighbors }
@@ -254,6 +259,9 @@ func (nd *Node) receive(from NodeID, pkt *Packet) {
 	if pkt.Control() {
 		if nd.proto != nil {
 			nd.proto.HandleMessage(from, pkt.Payload)
+		}
+		if pm, ok := pkt.Payload.(PooledMessage); ok {
+			pm.Release()
 		}
 		return
 	}

@@ -62,6 +62,19 @@ type Message interface {
 	SizeBytes() int
 }
 
+// PooledMessage is a Message drawn from a sender-owned free list. The
+// network hands the message back (Release) exactly once, as soon as its
+// flight ends: after the receiving protocol's HandleMessage returns, or
+// when the carrying packet is lost on a failed link. Protocols and
+// observers must therefore not retain a received message — or any storage
+// it owns — beyond the delivery call; anything worth keeping must be
+// copied out (BGP interns received paths, LS copies the LSA value).
+type PooledMessage interface {
+	Message
+	// Release returns the message to its owner's free list.
+	Release()
+}
+
 // Packet is a unit of transmission, either a data packet or a link-local
 // control packet carrying a routing Message.
 type Packet struct {

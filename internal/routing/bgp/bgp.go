@@ -10,11 +10,17 @@
 // paper's "BGP3" variant is this protocol with a 3 s MRAI instead of 30 s,
 // and §5.2 notes results would differ with a per-(neighbor, destination)
 // MRAI — both are supported.
+//
+// Performance: all per-neighbor RIBs are dense slices outer-indexed by
+// neighbor ID and inner-indexed by contiguous destination ID, and every
+// stored path is a 32-bit ID into a per-speaker intern table (intern.go).
+// Ascending-index iteration over the dense tables produces exactly the
+// order the previous map+sort implementation produced, so trial results
+// are bit-for-bit identical; see DESIGN.md's Performance section.
 package bgp
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 	"time"
 
@@ -69,49 +75,110 @@ func BGP3Config() Config {
 // Update is a BGP update message. Because every destination originates its
 // own prefix, no two destinations share a path, so an update announces at
 // most one destination (as §5.2 observes) while withdrawals batch freely.
+//
+// An Update is immutable once built. Updates sent by a Protocol are drawn
+// from a per-speaker free list and recycled by the network after delivery
+// (netsim.PooledMessage), so receivers must copy anything they keep;
+// hand-built updates (tests, DecodeUpdate) are not pooled and Release is a
+// no-op for them.
 type Update struct {
 	// Withdrawn lists destinations the sender can no longer reach.
 	Withdrawn []routing.NodeID
 	// Dst is the announced destination; valid only when Path is non-nil.
 	Dst routing.NodeID
 	// Path is the sender's path to Dst, starting with the sender itself
-	// and ending with Dst.
+	// and ending with Dst. For pooled updates it aliases the sender's
+	// intern table and must not be modified.
 	Path []routing.NodeID
+	// size memoizes SizeBytes (0 = not yet computed; a real size is never
+	// 0 because headerBytes > 0).
+	size int32
+	// pool is the free list the update returns to on Release; nil for
+	// hand-built updates.
+	pool *updatePool
 }
 
-// SizeBytes implements netsim.Message.
+// SizeBytes implements netsim.Message. The update is immutable after
+// construction, so the size is computed once and memoized.
 func (u *Update) SizeBytes() int {
-	size := headerBytes + withdrawBytes*len(u.Withdrawn)
-	if u.Path != nil {
-		size += announceBytes + pathElemBytes*len(u.Path)
+	if u.size == 0 {
+		s := headerBytes + withdrawBytes*len(u.Withdrawn)
+		if u.Path != nil {
+			s += announceBytes + pathElemBytes*len(u.Path)
+		}
+		u.size = int32(s)
 	}
-	return size
+	return int(u.size)
+}
+
+// updatePool recycles Update messages through a free list: the network
+// releases each pooled update once its flight ends, so steady-state update
+// traffic allocates neither messages nor withdrawal batches.
+type updatePool struct{ free []*Update }
+
+// get returns a zeroed update, reusing a released one when available.
+func (up *updatePool) get() *Update {
+	if n := len(up.free); n > 0 {
+		u := up.free[n-1]
+		up.free = up.free[:n-1]
+		return u
+	}
+	return &Update{pool: up}
+}
+
+// Release implements netsim.PooledMessage: the update (and the capacity of
+// its withdrawal batch) returns to its owner's free list. Hand-built
+// updates are not pooled; for them Release does nothing.
+func (u *Update) Release() {
+	if u.pool == nil {
+		return
+	}
+	u.Withdrawn = u.Withdrawn[:0]
+	u.Dst = 0
+	u.Path = nil
+	u.size = 0
+	u.pool.free = append(u.pool.free, u)
 }
 
 // Protocol is a BGP speaker bound to one node.
+//
+// All per-neighbor state lives in dense slices outer-indexed by neighbor
+// ID (rows exist only for live sessions) and inner-indexed by destination
+// ID; destinations are contiguous from 0, so ascending-index iteration
+// visits them in exactly the sorted order the previous map-based
+// implementation produced.
 type Protocol struct {
 	node *netsim.Node
 	cfg  Config
+	// intern hash-conses every path this speaker stores or originates.
+	intern *internTable
 	// adjIn holds, per neighbor, the latest valid path heard per
-	// destination. Paths that contain this node are never stored (loop =
-	// withdrawal).
-	adjIn map[routing.NodeID]map[routing.NodeID][]routing.NodeID
+	// destination (noPath = none). Paths that contain this node are never
+	// stored (loop = withdrawal). A nil row means no session.
+	adjIn [][]pathID
 	// best holds the selected path per destination, starting with this
-	// node.
-	best map[routing.NodeID][]routing.NodeID
-	// ribOut holds, per neighbor, the path last advertised (nil after a
+	// node (noPath = unreachable).
+	best []pathID
+	// ribOut holds, per neighbor, the path last advertised (noPath after a
 	// withdrawal).
-	ribOut map[routing.NodeID]map[routing.NodeID][]routing.NodeID
-	// pending holds, per neighbor, destinations whose state changed since
-	// the last flush.
-	pending map[routing.NodeID]map[routing.NodeID]bool
+	ribOut [][]pathID
+	// pending flags, per neighbor, destinations whose state changed since
+	// the last flush; pendingCount tracks how many flags are set per
+	// neighbor so an idle flush is O(1).
+	pending      [][]bool
+	pendingCount []int
 	// deadline holds, in per-destination MRAI mode, the earliest time each
 	// (neighbor, destination) may next be advertised.
-	deadline map[routing.NodeID]map[routing.NodeID]time.Duration
-	mrai     map[routing.NodeID]*sim.Timer
-	up       map[routing.NodeID]bool
-	// dirty accumulates destinations changed while processing one event.
-	dirty map[routing.NodeID]bool
+	deadline [][]time.Duration
+	mrai     []*sim.Timer
+	up       []bool
+	// dirty flags destinations changed while processing one event.
+	dirty      []bool
+	dirtyCount int
+	// wdScratch/annScratch are flush's reusable classification buffers.
+	wdScratch, annScratch []routing.NodeID
+	// pool recycles outgoing Update messages.
+	pool updatePool
 	// damper is non-nil when route flap damping is enabled.
 	damper *damper
 }
@@ -121,16 +188,9 @@ var _ netsim.Protocol = (*Protocol)(nil)
 // New returns a BGP instance for the node.
 func New(node *netsim.Node, cfg Config) *Protocol {
 	p := &Protocol{
-		node:     node,
-		cfg:      cfg,
-		adjIn:    make(map[routing.NodeID]map[routing.NodeID][]routing.NodeID),
-		best:     make(map[routing.NodeID][]routing.NodeID),
-		ribOut:   make(map[routing.NodeID]map[routing.NodeID][]routing.NodeID),
-		pending:  make(map[routing.NodeID]map[routing.NodeID]bool),
-		deadline: make(map[routing.NodeID]map[routing.NodeID]time.Duration),
-		mrai:     make(map[routing.NodeID]*sim.Timer),
-		up:       make(map[routing.NodeID]bool),
-		dirty:    make(map[routing.NodeID]bool),
+		node:   node,
+		cfg:    cfg,
+		intern: newInternTable(),
 	}
 	if cfg.Damping != nil {
 		p.damper = newDamper(*cfg.Damping, node.Sim(), func(_, dst routing.NodeID) {
@@ -146,19 +206,102 @@ func Factory(cfg Config) func(*netsim.Node) netsim.Protocol {
 	return func(n *netsim.Node) netsim.Protocol { return New(n, cfg) }
 }
 
+// newPathRow returns a row of n empty path slots.
+func newPathRow(n int) []pathID {
+	row := make([]pathID, n)
+	for i := range row {
+		row[i] = noPath
+	}
+	return row
+}
+
+// ids returns the current destination-universe size.
+func (p *Protocol) ids() int { return len(p.best) }
+
+// ensureDst grows every dense table so dst is a valid index. The universe
+// is sized to the network at Start, so this only triggers for unit tests
+// that inject out-of-range destinations.
+func (p *Protocol) ensureDst(dst routing.NodeID) {
+	if int(dst) < p.ids() {
+		return
+	}
+	n := int(dst) + 1
+	grow := func(row []pathID) []pathID {
+		grown := newPathRow(n)
+		copy(grown, row)
+		return grown
+	}
+	p.best = grow(p.best)
+	grownDirty := make([]bool, n)
+	copy(grownDirty, p.dirty)
+	p.dirty = grownDirty
+	for i := range p.adjIn {
+		if p.adjIn[i] != nil {
+			p.adjIn[i] = grow(p.adjIn[i])
+		}
+		if p.ribOut[i] != nil {
+			p.ribOut[i] = grow(p.ribOut[i])
+		}
+		if p.pending[i] != nil {
+			grown := make([]bool, n)
+			copy(grown, p.pending[i])
+			p.pending[i] = grown
+		}
+		if p.deadline[i] != nil {
+			grown := make([]time.Duration, n)
+			copy(grown, p.deadline[i])
+			p.deadline[i] = grown
+		}
+	}
+}
+
+// bestID returns the selected path ID for dst (noPath when unreachable or
+// unknown).
+func (p *Protocol) bestID(dst routing.NodeID) pathID {
+	if dst >= 0 && int(dst) < len(p.best) {
+		return p.best[dst]
+	}
+	return noPath
+}
+
+// adjInGet returns the Adj-RIB-In entry for (neighbor, dst), or noPath.
+func (p *Protocol) adjInGet(n, dst routing.NodeID) pathID {
+	if int(n) >= len(p.adjIn) {
+		return noPath
+	}
+	row := p.adjIn[n]
+	if row == nil || dst < 0 || int(dst) >= len(row) {
+		return noPath
+	}
+	return row[dst]
+}
+
+// upTo reports whether the session to neighbor n is up.
+func (p *Protocol) upTo(n routing.NodeID) bool {
+	return int(n) < len(p.up) && p.up[n]
+}
+
 // BestPath returns the selected path to dst (starting with this node), or
-// nil when the destination is unreachable. Exposed for tests and tools.
-func (p *Protocol) BestPath(dst routing.NodeID) []routing.NodeID { return p.best[dst] }
+// nil when the destination is unreachable. The slice aliases the intern
+// table and must not be modified. Exposed for tests and tools.
+func (p *Protocol) BestPath(dst routing.NodeID) []routing.NodeID {
+	return p.intern.path(p.bestID(dst))
+}
 
 // DebugState renders the speaker's complete state for one destination —
 // Adj-RIB-In paths, Adj-RIB-Out, pending flags, and MRAI timers — for
 // tests and troubleshooting tools.
 func (p *Protocol) DebugState(dst routing.NodeID) string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "node %d dst %d best=%v\n", p.node.ID(), dst, p.best[dst])
+	fmt.Fprintf(&sb, "node %d dst %d best=%v\n", p.node.ID(), dst, p.BestPath(dst))
 	for _, n := range p.node.Neighbors() {
+		var out pathID = noPath
+		if int(n) < len(p.ribOut) && p.ribOut[n] != nil && int(dst) < len(p.ribOut[n]) {
+			out = p.ribOut[n][dst]
+		}
+		pend := int(n) < len(p.pending) && p.pending[n] != nil && int(dst) < len(p.pending[n]) && p.pending[n][dst]
 		fmt.Fprintf(&sb, "  nbr %d up=%v in=%v out=%v pending=%v mrai=%v",
-			n, p.up[n], p.adjIn[n][dst], p.ribOut[n][dst], p.pending[n][dst], p.mrai[n].Pending())
+			n, p.upTo(n), p.intern.path(p.adjInGet(n, dst)), p.intern.path(out), pend, p.mrai[n].Pending())
 		if p.damper != nil && p.damper.Suppressed(n, dst) {
 			sb.WriteString(" SUPPRESSED")
 		}
@@ -170,24 +313,57 @@ func (p *Protocol) DebugState(dst routing.NodeID) string {
 // Start implements netsim.Protocol.
 func (p *Protocol) Start() {
 	self := p.node.ID()
-	p.best[self] = []routing.NodeID{self}
-	for _, n := range p.node.Neighbors() {
-		p.sessionUp(n)
-		p.pending[n][self] = true
+	n := p.node.NetworkSize()
+	if int(self) >= n {
+		n = int(self) + 1
+	}
+	p.best = newPathRow(n)
+	p.dirty = make([]bool, n)
+	p.adjIn = make([][]pathID, n)
+	p.ribOut = make([][]pathID, n)
+	p.pending = make([][]bool, n)
+	p.pendingCount = make([]int, n)
+	p.deadline = make([][]time.Duration, n)
+	p.mrai = make([]*sim.Timer, n)
+	p.up = make([]bool, n)
+	p.best[self] = p.intern.intern([]routing.NodeID{self})
+	for _, nb := range p.node.Neighbors() {
+		p.sessionUp(nb)
+		p.setPending(nb, self)
 	}
 	p.flushAll()
 }
 
 // sessionUp initializes per-neighbor state.
 func (p *Protocol) sessionUp(n routing.NodeID) {
+	size := p.ids()
 	p.up[n] = true
-	p.adjIn[n] = make(map[routing.NodeID][]routing.NodeID)
-	p.ribOut[n] = make(map[routing.NodeID][]routing.NodeID)
-	p.pending[n] = make(map[routing.NodeID]bool)
-	p.deadline[n] = make(map[routing.NodeID]time.Duration)
+	p.adjIn[n] = newPathRow(size)
+	p.ribOut[n] = newPathRow(size)
+	p.pending[n] = make([]bool, size)
+	p.pendingCount[n] = 0
+	if p.cfg.PerDestMRAI {
+		p.deadline[n] = make([]time.Duration, size)
+	}
 	if p.mrai[n] == nil {
 		n := n
 		p.mrai[n] = sim.NewTimer(p.node.Sim(), func() { p.flush(n) })
+	}
+}
+
+// setPending flags dst toward neighbor n.
+func (p *Protocol) setPending(n, dst routing.NodeID) {
+	if !p.pending[n][dst] {
+		p.pending[n][dst] = true
+		p.pendingCount[n]++
+	}
+}
+
+// clearPending unflags dst toward neighbor n.
+func (p *Protocol) clearPending(n, dst routing.NodeID) {
+	if p.pending[n][dst] {
+		p.pending[n][dst] = false
+		p.pendingCount[n]--
 	}
 }
 
@@ -197,13 +373,12 @@ func (p *Protocol) HandleMessage(from routing.NodeID, msg netsim.Message) {
 	if !ok {
 		return
 	}
-	in := p.adjIn[from]
-	if in == nil {
+	if int(from) >= len(p.adjIn) || p.adjIn[from] == nil {
 		return // no session (e.g. message raced a link-down detection)
 	}
 	for _, dst := range u.Withdrawn {
-		if _, had := in[dst]; had {
-			delete(in, dst)
+		if p.adjInGet(from, dst) != noPath {
+			p.adjIn[from][dst] = noPath
 			if p.damper != nil {
 				p.damper.OnWithdraw(from, dst)
 			}
@@ -211,18 +386,19 @@ func (p *Protocol) HandleMessage(from routing.NodeID, msg netsim.Message) {
 		}
 	}
 	if u.Path != nil {
-		_, had := in[u.Dst]
+		had := p.adjInGet(from, u.Dst) != noPath
 		if contains(u.Path, p.node.ID()) {
 			// Loop detected: treat as withdrawal (§3).
 			if had {
-				delete(in, u.Dst)
+				p.adjIn[from][u.Dst] = noPath
 				if p.damper != nil {
 					p.damper.OnWithdraw(from, u.Dst)
 				}
 				p.recompute(u.Dst)
 			}
 		} else {
-			in[u.Dst] = u.Path
+			p.ensureDst(u.Dst)
+			p.adjIn[from][u.Dst] = p.intern.intern(u.Path)
 			if had && p.damper != nil {
 				p.damper.OnReannounce(from, u.Dst)
 			}
@@ -240,6 +416,7 @@ func (p *Protocol) LinkDown(neighbor routing.NodeID) {
 	p.adjIn[neighbor] = nil
 	p.ribOut[neighbor] = nil
 	p.pending[neighbor] = nil
+	p.pendingCount[neighbor] = 0
 	p.deadline[neighbor] = nil
 	if t := p.mrai[neighbor]; t != nil {
 		t.Stop()
@@ -247,8 +424,10 @@ func (p *Protocol) LinkDown(neighbor routing.NodeID) {
 	if p.damper != nil {
 		p.damper.SessionReset(neighbor)
 	}
-	for _, dst := range sortedKeys(lost) {
-		p.recompute(dst)
+	for dst, id := range lost {
+		if id != noPath {
+			p.recompute(routing.NodeID(dst))
+		}
 	}
 	p.flushAll()
 }
@@ -257,71 +436,76 @@ func (p *Protocol) LinkDown(neighbor routing.NodeID) {
 // advertised to the neighbor.
 func (p *Protocol) LinkUp(neighbor routing.NodeID) {
 	p.sessionUp(neighbor)
-	for dst, path := range p.best {
-		if path != nil {
-			p.pending[neighbor][dst] = true
+	for dst, id := range p.best {
+		if id != noPath {
+			p.setPending(neighbor, routing.NodeID(dst))
 		}
 	}
 	p.flushAll()
 }
 
 // recompute reruns best-path selection for dst: shortest valid path over
-// all neighbors, ties to the lowest neighbor ID.
+// all neighbors, ties to the lowest neighbor ID. Paths compare by intern
+// ID, so "unchanged" is a single integer comparison.
 func (p *Protocol) recompute(dst routing.NodeID) {
 	if dst == p.node.ID() {
 		return
 	}
-	var chosen []routing.NodeID
+	chosen, chosenLen := noPath, 0
 	for _, n := range p.node.Neighbors() {
-		if !p.up[n] {
+		if !p.upTo(n) {
 			continue
 		}
-		path, ok := p.adjIn[n][dst]
-		if !ok {
+		id := p.adjInGet(n, dst)
+		if id == noPath {
 			continue
 		}
 		if p.damper != nil && p.damper.Suppressed(n, dst) {
 			continue
 		}
-		if chosen == nil || len(path) < len(chosen) {
-			chosen = path
+		if l := p.intern.pathLen(id); chosen == noPath || l < chosenLen {
+			chosen, chosenLen = id, l
 		}
 	}
-	var newBest []routing.NodeID
-	if chosen != nil {
-		newBest = make([]routing.NodeID, 0, len(chosen)+1)
-		newBest = append(newBest, p.node.ID())
-		newBest = append(newBest, chosen...)
+	newBest := noPath
+	if chosen != noPath {
+		newBest = p.intern.prepend(p.node.ID(), chosen)
 	}
-	old := p.best[dst]
-	if pathEqual(old, newBest) {
+	if p.bestID(dst) == newBest {
 		return
 	}
-	if newBest == nil {
-		delete(p.best, dst)
+	p.ensureDst(dst)
+	p.best[dst] = newBest
+	if newBest == noPath {
 		p.node.ClearRoute(dst)
 	} else {
-		p.best[dst] = newBest
-		p.node.SetRoute(dst, newBest[1])
+		p.node.SetRoute(dst, p.intern.path(newBest)[1])
 	}
-	p.dirty[dst] = true
+	if !p.dirty[dst] {
+		p.dirty[dst] = true
+		p.dirtyCount++
+	}
 }
 
 // flushAll propagates all destinations dirtied by the current event to
 // every up neighbor, then attempts a flush per neighbor.
 func (p *Protocol) flushAll() {
-	if len(p.dirty) > 0 {
-		for _, dst := range sortedSet(p.dirty) {
+	if p.dirtyCount > 0 {
+		for dst := range p.dirty {
+			if !p.dirty[dst] {
+				continue
+			}
+			p.dirty[dst] = false
 			for _, n := range p.node.Neighbors() {
-				if p.up[n] {
-					p.pending[n][dst] = true
+				if p.upTo(n) {
+					p.setPending(n, routing.NodeID(dst))
 				}
 			}
 		}
-		p.dirty = make(map[routing.NodeID]bool)
+		p.dirtyCount = 0
 	}
 	for _, n := range p.node.Neighbors() {
-		if p.up[n] {
+		if p.upTo(n) {
 			p.flush(n)
 		}
 	}
@@ -332,38 +516,50 @@ func (p *Protocol) flushAll() {
 // idle (or, in per-destination mode, when each destination's deadline has
 // passed).
 func (p *Protocol) flush(n routing.NodeID) {
-	pend := p.pending[n]
-	if len(pend) == 0 {
+	if p.pendingCount[n] == 0 {
 		return
 	}
 	now := p.node.Sim().Now()
+	pend := p.pending[n]
 	out := p.ribOut[n]
 
-	var withdrawals, announcements []routing.NodeID
-	for _, dst := range sortedSet(pend) {
+	// Classify pending destinations in ascending order. In damped-
+	// withdrawal mode withdrawals queue behind MRAI like announcements, so
+	// they classify straight into the announcement list (which keeps it
+	// sorted — the same order the old append+sort produced).
+	withdrawals := p.wdScratch[:0]
+	announcements := p.annScratch[:0]
+	for dst := range pend {
+		if !pend[dst] {
+			continue
+		}
+		d := routing.NodeID(dst)
 		best := p.best[dst]
 		switch {
-		case best == nil && out[dst] == nil:
-			delete(pend, dst) // nothing ever advertised; nothing to say
-		case best == nil:
-			withdrawals = append(withdrawals, dst)
-		case pathEqual(out[dst], best):
-			delete(pend, dst) // already current
+		case best == noPath && out[dst] == noPath:
+			p.clearPending(n, d) // nothing ever advertised; nothing to say
+		case best == noPath:
+			if p.cfg.DampWithdrawals {
+				announcements = append(announcements, d)
+			} else {
+				withdrawals = append(withdrawals, d)
+			}
+		case out[dst] == best:
+			p.clearPending(n, d) // already current
 		default:
-			announcements = append(announcements, dst)
+			announcements = append(announcements, d)
 		}
 	}
+	p.wdScratch, p.annScratch = withdrawals, announcements
 
-	if !p.cfg.DampWithdrawals && len(withdrawals) > 0 {
-		p.node.SendControl(n, &Update{Withdrawn: withdrawals})
+	if len(withdrawals) > 0 {
+		u := p.pool.get()
+		u.Withdrawn = append(u.Withdrawn, withdrawals...)
+		p.node.SendControl(n, u)
 		for _, dst := range withdrawals {
-			delete(out, dst)
-			delete(pend, dst)
+			out[dst] = noPath
+			p.clearPending(n, dst)
 		}
-	} else if p.cfg.DampWithdrawals {
-		// Withdrawals queue behind MRAI like announcements.
-		announcements = append(announcements, withdrawals...)
-		sort.Slice(announcements, func(i, j int) bool { return announcements[i] < announcements[j] })
 	}
 
 	if p.cfg.PerDestMRAI {
@@ -383,16 +579,17 @@ func (p *Protocol) flush(n routing.NodeID) {
 // deadline has passed and re-arms the neighbor timer for the earliest
 // remaining one.
 func (p *Protocol) flushPerDest(n routing.NodeID, announcements []routing.NodeID, now time.Duration) {
+	dl := p.deadline[n]
 	var earliest time.Duration = -1
 	for _, dst := range announcements {
-		dl := p.deadline[n][dst]
-		if now >= dl {
+		d := dl[dst]
+		if now >= d {
 			p.advertise(n, dst)
-			p.deadline[n][dst] = now + p.mraiInterval()
+			dl[dst] = now + p.mraiInterval()
 			continue
 		}
-		if earliest < 0 || dl < earliest {
-			earliest = dl
+		if earliest < 0 || d < earliest {
+			earliest = d
 		}
 	}
 	if earliest >= 0 {
@@ -405,16 +602,18 @@ func (p *Protocol) flushPerDest(n routing.NodeID, announcements []routing.NodeID
 
 // advertise sends the current state of dst to n and records it in ribOut.
 func (p *Protocol) advertise(n, dst routing.NodeID) {
-	best := p.best[dst]
-	out := p.ribOut[n]
-	if best == nil {
-		p.node.SendControl(n, &Update{Withdrawn: []routing.NodeID{dst}})
-		delete(out, dst)
+	best := p.bestID(dst)
+	u := p.pool.get()
+	if best == noPath {
+		u.Withdrawn = append(u.Withdrawn, dst)
+		p.ribOut[n][dst] = noPath
 	} else {
-		p.node.SendControl(n, &Update{Dst: dst, Path: best})
-		out[dst] = best
+		u.Dst = dst
+		u.Path = p.intern.path(best)
+		p.ribOut[n][dst] = best
 	}
-	delete(p.pending[n], dst)
+	p.node.SendControl(n, u)
+	p.clearPending(n, dst)
 }
 
 // mraiInterval draws one jittered MRAI value.
@@ -433,37 +632,4 @@ func contains(path []routing.NodeID, id routing.NodeID) bool {
 		}
 	}
 	return false
-}
-
-func pathEqual(a, b []routing.NodeID) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	if (a == nil) != (b == nil) {
-		return false
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
-		}
-	}
-	return true
-}
-
-func sortedKeys(m map[routing.NodeID][]routing.NodeID) []routing.NodeID {
-	out := make([]routing.NodeID, 0, len(m))
-	for k := range m {
-		out = append(out, k)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
-}
-
-func sortedSet(m map[routing.NodeID]bool) []routing.NodeID {
-	out := make([]routing.NodeID, 0, len(m))
-	for k := range m {
-		out = append(out, k)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
 }

@@ -136,7 +136,9 @@ func TestLoopedPathTreatedAsWithdrawal(t *testing.T) {
 	}
 }
 
-// capture records updates received by a node.
+// capture records updates received by a node. Received updates are pooled
+// (the network recycles them after HandleMessage returns), so capture
+// keeps deep copies.
 type capture struct {
 	updates []*Update
 	at      []time.Duration
@@ -146,7 +148,14 @@ type capture struct {
 func (c *capture) Start() {}
 func (c *capture) HandleMessage(_ netsim.NodeID, msg netsim.Message) {
 	if u, ok := msg.(*Update); ok {
-		c.updates = append(c.updates, u)
+		clone := &Update{Dst: u.Dst}
+		if u.Withdrawn != nil {
+			clone.Withdrawn = append([]netsim.NodeID(nil), u.Withdrawn...)
+		}
+		if u.Path != nil {
+			clone.Path = append([]netsim.NodeID(nil), u.Path...)
+		}
+		c.updates = append(c.updates, clone)
 		if c.sim != nil {
 			c.at = append(c.at, c.sim.Now())
 		}

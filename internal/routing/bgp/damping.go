@@ -41,7 +41,8 @@ func DefaultDampingConfig() DampingConfig {
 	}
 }
 
-// flapState tracks one (neighbor, destination) flap history.
+// flapState tracks one (neighbor, destination) flap history. The zero
+// value means "no history", so damper rows are plain value slices.
 type flapState struct {
 	penalty    float64
 	updatedAt  time.Duration
@@ -56,16 +57,15 @@ type damper struct {
 	// onReuse is called when a suppressed (neighbor, destination) becomes
 	// usable again so the owner can re-run best-path selection.
 	onReuse func(neighbor, dst routing.NodeID)
-	state   map[routing.NodeID]map[routing.NodeID]*flapState
+	// state holds flap histories in dense rows outer-indexed by neighbor
+	// and inner-indexed by destination, grown on demand. Rows may be
+	// reallocated by growth, so nothing long-lived may hold a *flapState —
+	// the reuse callback re-resolves its entry by (neighbor, dst).
+	state [][]flapState
 }
 
 func newDamper(cfg DampingConfig, s *sim.Simulator, onReuse func(neighbor, dst routing.NodeID)) *damper {
-	return &damper{
-		cfg:     cfg,
-		sim:     s,
-		onReuse: onReuse,
-		state:   make(map[routing.NodeID]map[routing.NodeID]*flapState),
-	}
+	return &damper{cfg: cfg, sim: s, onReuse: onReuse}
 }
 
 // decayed returns the penalty decayed to the current time.
@@ -77,38 +77,44 @@ func (d *damper) decayed(st *flapState) float64 {
 	return st.penalty * math.Exp2(-float64(dt)/float64(d.cfg.HalfLife))
 }
 
-func (d *damper) get(neighbor, dst routing.NodeID) *flapState {
-	m := d.state[neighbor]
-	if m == nil {
-		m = make(map[routing.NodeID]*flapState)
-		d.state[neighbor] = m
+// at returns the entry for (neighbor, dst), growing the dense tables as
+// needed. The pointer is only valid until the next call to at.
+func (d *damper) at(neighbor, dst routing.NodeID) *flapState {
+	if int(neighbor) >= len(d.state) {
+		grown := make([][]flapState, int(neighbor)+1)
+		copy(grown, d.state)
+		d.state = grown
 	}
-	st := m[dst]
-	if st == nil {
-		st = &flapState{}
-		m[dst] = st
+	if int(dst) >= len(d.state[neighbor]) {
+		grown := make([]flapState, int(dst)+1)
+		copy(grown, d.state[neighbor])
+		d.state[neighbor] = grown
 	}
-	return st
+	return &d.state[neighbor][dst]
+}
+
+// peek returns the entry for (neighbor, dst) without growing, or nil.
+func (d *damper) peek(neighbor, dst routing.NodeID) *flapState {
+	if neighbor < 0 || int(neighbor) >= len(d.state) {
+		return nil
+	}
+	row := d.state[neighbor]
+	if dst < 0 || int(dst) >= len(row) {
+		return nil
+	}
+	return &row[dst]
 }
 
 // Suppressed reports whether the (neighbor, destination) route is
 // currently suppressed.
 func (d *damper) Suppressed(neighbor, dst routing.NodeID) bool {
-	m := d.state[neighbor]
-	if m == nil {
-		return false
-	}
-	st := m[dst]
+	st := d.peek(neighbor, dst)
 	return st != nil && st.suppressed
 }
 
 // Penalty returns the current (decayed) penalty; exposed for tests.
 func (d *damper) Penalty(neighbor, dst routing.NodeID) float64 {
-	m := d.state[neighbor]
-	if m == nil {
-		return 0
-	}
-	st := m[dst]
+	st := d.peek(neighbor, dst)
 	if st == nil {
 		return 0
 	}
@@ -128,7 +134,7 @@ func (d *damper) OnReannounce(neighbor, dst routing.NodeID) bool {
 }
 
 func (d *damper) charge(neighbor, dst routing.NodeID, penalty float64) bool {
-	st := d.get(neighbor, dst)
+	st := d.at(neighbor, dst)
 	st.penalty = d.decayed(st) + penalty
 	st.updatedAt = d.sim.Now()
 	if !st.suppressed && st.penalty >= d.cfg.SuppressThreshold {
@@ -142,13 +148,16 @@ func (d *damper) charge(neighbor, dst routing.NodeID, penalty float64) bool {
 }
 
 // scheduleReuse (re)schedules the un-suppression check for the exact time
-// the penalty will have decayed to the reuse threshold.
+// the penalty will have decayed to the reuse threshold. The callback
+// re-resolves the entry by coordinates: rows are value slices that may be
+// reallocated by growth, so a captured pointer could go stale.
 func (d *damper) scheduleReuse(neighbor, dst routing.NodeID, st *flapState) {
 	st.reuse.Cancel()
 	wait := d.timeToReuse(st.penalty)
 	st.reuse = d.sim.Schedule(wait, func() {
-		st.suppressed = false
-		st.reuse = sim.Event{}
+		cur := d.at(neighbor, dst)
+		cur.suppressed = false
+		cur.reuse = sim.Event{}
 		d.onReuse(neighbor, dst)
 	})
 }
@@ -166,8 +175,12 @@ func (d *damper) timeToReuse(penalty float64) time.Duration {
 // SessionReset drops all flap history for the neighbor (the session — and
 // with it the damping context — is gone).
 func (d *damper) SessionReset(neighbor routing.NodeID) {
-	for _, st := range d.state[neighbor] {
-		st.reuse.Cancel()
+	if int(neighbor) >= len(d.state) {
+		return
 	}
-	delete(d.state, neighbor)
+	row := d.state[neighbor]
+	for i := range row {
+		row[i].reuse.Cancel()
+	}
+	d.state[neighbor] = nil
 }

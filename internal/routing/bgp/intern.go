@@ -1,0 +1,86 @@
+package bgp
+
+import "routeconv/internal/routing"
+
+// pathID names one interned AS path in a speaker's intern table. The RIBs
+// (Adj-RIB-In, Loc-RIB, RIB-Out) store 32-bit path IDs instead of owned
+// slices: interning hash-conses every path the speaker hears or selects,
+// so equal paths share an ID and path equality is integer equality.
+// noPath marks an empty RIB slot.
+type pathID int32
+
+// noPath is the empty RIB slot / "no path selected" sentinel.
+const noPath pathID = -1
+
+// internTable hash-conses AS paths for one Protocol instance. It is
+// append-only: a path, once interned, keeps its ID and its backing slice
+// for the lifetime of the speaker. That immutability is what makes
+// zero-copy sharing safe — an interned slice may simultaneously back RIB
+// slots, Update messages in flight, and (after the receiver interns it in
+// turn) a neighbor's own table. The table's memory is bounded by the set
+// of distinct paths actually explored, all of which the pre-interning
+// code allocated anyway (and then copied per update).
+type internTable struct {
+	// paths maps a pathID to its elements; slot i belongs to pathID(i).
+	paths [][]routing.NodeID
+	// ids maps a path's byte key to its ID. Lookups convert the scratch
+	// key with a non-allocating string conversion; only the first sight of
+	// a path allocates (the owned copy and the map key).
+	ids map[string]pathID
+	// key and scratch are reusable build buffers.
+	key     []byte
+	scratch []routing.NodeID
+}
+
+func newInternTable() *internTable {
+	return &internTable{ids: make(map[string]pathID)}
+}
+
+// keyFor serializes a path into the reusable key buffer.
+func (t *internTable) keyFor(path []routing.NodeID) []byte {
+	t.key = t.key[:0]
+	for _, n := range path {
+		u := uint32(n)
+		t.key = append(t.key, byte(u), byte(u>>8), byte(u>>16), byte(u>>24))
+	}
+	return t.key
+}
+
+// intern returns the ID for path, copying it into the table on first
+// sight. path must be non-empty (empty paths are represented as noPath).
+func (t *internTable) intern(path []routing.NodeID) pathID {
+	key := t.keyFor(path)
+	if id, ok := t.ids[string(key)]; ok {
+		return id
+	}
+	id := pathID(len(t.paths))
+	t.paths = append(t.paths, append([]routing.NodeID(nil), path...))
+	t.ids[string(key)] = id
+	return id
+}
+
+// prepend returns the ID of the path formed by head followed by the
+// elements of id — the "self + neighbor's path" step of best-path
+// selection, built in a reusable buffer.
+func (t *internTable) prepend(head routing.NodeID, id pathID) pathID {
+	t.scratch = append(t.scratch[:0], head)
+	t.scratch = append(t.scratch, t.paths[id]...)
+	return t.intern(t.scratch)
+}
+
+// path returns the interned elements (nil for noPath). The slice is owned
+// by the table; callers must not modify it.
+func (t *internTable) path(id pathID) []routing.NodeID {
+	if id == noPath {
+		return nil
+	}
+	return t.paths[id]
+}
+
+// pathLen returns the interned path's length (0 for noPath).
+func (t *internTable) pathLen(id pathID) int {
+	if id == noPath {
+		return 0
+	}
+	return len(t.paths[id])
+}

@@ -1,0 +1,35 @@
+package ls
+
+import (
+	"testing"
+	"time"
+
+	"routeconv/internal/netsim"
+	"routeconv/internal/sim"
+	"routeconv/internal/topology"
+)
+
+// A steady-state SPF recompute must not allocate: the CSR adjacency,
+// distance arrays, counting-sort buckets, and first-hop rows all live in
+// the protocol's persistent epoch-versioned scratch, and unchanged routes
+// cause no FIB churn.
+func TestRecomputeAllocs(t *testing.T) {
+	s := sim.New(1)
+	net := netsim.FromGraph(s, topology.Ring(6), netsim.DefaultConfig(), nil)
+	var protos []*Protocol
+	for i := 0; i < 6; i++ {
+		p := New(net.Node(netsim.NodeID(i)), DefaultConfig())
+		net.Node(netsim.NodeID(i)).AttachProtocol(p)
+		protos = append(protos, p)
+	}
+	net.Start()
+	s.RunUntil(time.Second) // full database everywhere
+	p := protos[0]
+	for i := 0; i < 4; i++ {
+		p.recompute() // size the scratch
+	}
+	avg := testing.AllocsPerRun(100, func() { p.recompute() })
+	if avg != 0 {
+		t.Errorf("steady-state recompute allocates %.1f objects, want 0", avg)
+	}
+}

@@ -8,10 +8,16 @@
 // recomputes immediately — like DBF it has a near-zero path switch-over
 // period, but unlike the vector protocols its alternate is always loop-free
 // with respect to its own map.
+//
+// Performance: the LSA database is a dense slice indexed by origin and the
+// SPF run works entirely in persistent, epoch-versioned scratch (CSR
+// adjacency, distance array, counting sort), so a steady-state recompute
+// performs no allocations. Ascending-index iteration reproduces the
+// (distance, ID) order the previous map+sort implementation produced, so
+// trial results are bit-for-bit identical.
 package ls
 
 import (
-	"sort"
 	"time"
 
 	"routeconv/internal/netsim"
@@ -39,40 +45,142 @@ type Config struct {
 // the paper's 800 s runs.
 func DefaultConfig() Config { return Config{RefreshInterval: 30 * time.Minute} }
 
-// LSA is one router's link-state advertisement.
+// LSA is one router's link-state advertisement. The Neighbors slice is
+// built once by the originator and is immutable from then on: floods,
+// every receiver's database, and re-floods all share it.
 type LSA struct {
 	Origin    routing.NodeID
 	Seq       uint64
 	Neighbors []routing.NodeID
 }
 
-// Flood is the message carrying one LSA hop by hop.
+// Flood is the message carrying one LSA hop by hop. Floods sent by a
+// Protocol are drawn from a per-speaker free list and recycled by the
+// network after delivery (netsim.PooledMessage); receivers keep the LSA
+// value (and its immutable Neighbors slice), never the Flood itself.
+// Hand-built floods (tests, DecodeFlood) are not pooled.
 type Flood struct {
 	LSA LSA
+	// pool is the free list the flood returns to on Release; nil for
+	// hand-built floods.
+	pool *floodPool
 }
 
 // SizeBytes implements netsim.Message.
 func (f *Flood) SizeBytes() int { return headerBytes + neighborBytes*len(f.LSA.Neighbors) }
 
+// floodPool recycles Flood messages through a free list.
+type floodPool struct{ free []*Flood }
+
+// get returns a zeroed flood, reusing a released one when available.
+func (fp *floodPool) get() *Flood {
+	if n := len(fp.free); n > 0 {
+		f := fp.free[n-1]
+		fp.free = fp.free[:n-1]
+		return f
+	}
+	return &Flood{pool: fp}
+}
+
+// Release implements netsim.PooledMessage. Only the reference to the LSA
+// (and its shared Neighbors slice) is dropped; the slice itself is owned
+// by its originator and is never reused.
+func (f *Flood) Release() {
+	if f.pool == nil {
+		return
+	}
+	f.LSA = LSA{}
+	f.pool.free = append(f.pool.free, f)
+}
+
+// spfScratch is the persistent workspace for recompute. Distance and
+// first-hop-dedup arrays are epoch-versioned: bumping the epoch invalidates
+// every entry at once, so nothing is cleared between runs.
+type spfScratch struct {
+	// adjOff/adjList form a CSR adjacency over the database: node o's
+	// two-way-checked neighbors are adjList[adjOff[o]:adjOff[o+1]].
+	adjOff  []int32
+	adjList []routing.NodeID
+	// dist[v] is valid iff distEpoch[v] == epoch.
+	dist      []int32
+	distEpoch []uint32
+	epoch     uint32
+	// order is the BFS queue and visit order (nondecreasing distance).
+	order []routing.NodeID
+	// sorted is order rearranged to (distance, ID) ascending.
+	sorted []routing.NodeID
+	// bucket holds per-distance placement offsets for the counting sort.
+	bucket []int32
+	// firstHops[v] is the sorted set of equal-cost first hops toward v;
+	// rows are reused across runs. hopSeen/hopEpoch dedup hop candidates.
+	firstHops [][]routing.NodeID
+	hopSeen   []uint32
+	hopEpoch  uint32
+}
+
+// next invalidates all epoch-versioned entries, clearing on wraparound.
+func (s *spfScratch) next() {
+	s.epoch++
+	if s.epoch == 0 {
+		for i := range s.distEpoch {
+			s.distEpoch[i] = 0
+		}
+		s.epoch = 1
+	}
+}
+
+// nextHopEpoch invalidates the hop dedup marks, clearing on wraparound.
+func (s *spfScratch) nextHopEpoch() uint32 {
+	s.hopEpoch++
+	if s.hopEpoch == 0 {
+		for i := range s.hopSeen {
+			s.hopSeen[i] = 0
+		}
+		s.hopEpoch = 1
+	}
+	return s.hopEpoch
+}
+
+// size ensures every array is long enough for n nodes.
+func (s *spfScratch) size(n int) {
+	if len(s.dist) >= n {
+		return
+	}
+	s.adjOff = append(s.adjOff[:0], make([]int32, n+1)...)
+	grownDist := make([]int32, n)
+	copy(grownDist, s.dist)
+	s.dist = grownDist
+	grownEpoch := make([]uint32, n)
+	copy(grownEpoch, s.distEpoch)
+	s.distEpoch = grownEpoch
+	grownSeen := make([]uint32, n)
+	copy(grownSeen, s.hopSeen)
+	s.hopSeen = grownSeen
+	grownHops := make([][]routing.NodeID, n)
+	copy(grownHops, s.firstHops)
+	s.firstHops = grownHops
+}
+
 // Protocol is a link-state speaker bound to one node.
 type Protocol struct {
 	node *netsim.Node
 	cfg  Config
-	db   map[routing.NodeID]LSA
-	up   map[routing.NodeID]bool
+	// db is the dense LSA database indexed by origin; db[o] is valid iff
+	// have[o]. An explicit validity bit (rather than Seq > 0) preserves the
+	// old map semantics: a first-heard LSA with Seq 0 is stored.
+	db   []LSA
+	have []bool
+	up   []bool
 	seq  uint64
+	pool floodPool
+	spf  spfScratch
 }
 
 var _ netsim.Protocol = (*Protocol)(nil)
 
 // New returns a link-state instance for the node.
 func New(node *netsim.Node, cfg Config) *Protocol {
-	return &Protocol{
-		node: node,
-		cfg:  cfg,
-		db:   make(map[routing.NodeID]LSA),
-		up:   make(map[routing.NodeID]bool),
-	}
+	return &Protocol{node: node, cfg: cfg}
 }
 
 // Factory returns a constructor suitable for attaching the protocol to
@@ -81,10 +189,33 @@ func Factory(cfg Config) func(*netsim.Node) netsim.Protocol {
 	return func(n *netsim.Node) netsim.Protocol { return New(n, cfg) }
 }
 
+// ensureOrigin grows the database so origin is a valid index. The database
+// is sized to the network at Start; this only triggers for unit tests that
+// inject LSAs with out-of-range origins.
+func (p *Protocol) ensureOrigin(origin routing.NodeID) {
+	if int(origin) < len(p.db) {
+		return
+	}
+	n := int(origin) + 1
+	grownDB := make([]LSA, n)
+	copy(grownDB, p.db)
+	p.db = grownDB
+	grownHave := make([]bool, n)
+	copy(grownHave, p.have)
+	p.have = grownHave
+}
+
 // Start implements netsim.Protocol.
 func (p *Protocol) Start() {
-	for _, n := range p.node.Neighbors() {
-		p.up[n] = true
+	n := p.node.NetworkSize()
+	if self := int(p.node.ID()); self >= n {
+		n = self + 1
+	}
+	p.db = make([]LSA, n)
+	p.have = make([]bool, n)
+	p.up = make([]bool, n)
+	for _, nb := range p.node.Neighbors() {
+		p.up[nb] = true
 	}
 	p.originate()
 	p.scheduleRefresh()
@@ -101,7 +232,9 @@ func (p *Protocol) scheduleRefresh() {
 }
 
 // originate builds this router's LSA from its detected-up adjacencies and
-// floods it.
+// floods it. The neighbor list is freshly allocated each time because it
+// outlives the call: floods in flight, every receiver's database, and this
+// router's own database all share it.
 func (p *Protocol) originate() {
 	p.seq++
 	var neighbors []routing.NodeID
@@ -110,8 +243,10 @@ func (p *Protocol) originate() {
 			neighbors = append(neighbors, n)
 		}
 	}
-	lsa := LSA{Origin: p.node.ID(), Seq: p.seq, Neighbors: neighbors}
-	p.db[p.node.ID()] = lsa
+	self := p.node.ID()
+	lsa := LSA{Origin: self, Seq: p.seq, Neighbors: neighbors}
+	p.db[self] = lsa
+	p.have[self] = true
 	p.flood(lsa, -1)
 	p.recompute()
 }
@@ -122,7 +257,9 @@ func (p *Protocol) flood(lsa LSA, except routing.NodeID) {
 		if n == except || !p.up[n] {
 			continue
 		}
-		p.node.SendControl(n, &Flood{LSA: lsa})
+		f := p.pool.get()
+		f.LSA = lsa
+		p.node.SendControl(n, f)
 	}
 }
 
@@ -132,11 +269,13 @@ func (p *Protocol) HandleMessage(from routing.NodeID, msg netsim.Message) {
 	if !ok {
 		return
 	}
-	cur, have := p.db[f.LSA.Origin]
-	if have && cur.Seq >= f.LSA.Seq {
+	origin := f.LSA.Origin
+	p.ensureOrigin(origin)
+	if p.have[origin] && p.db[origin].Seq >= f.LSA.Seq {
 		return // stale or duplicate: stop the flood
 	}
-	p.db[f.LSA.Origin] = f.LSA
+	p.db[origin] = f.LSA
+	p.have[origin] = true
 	p.flood(f.LSA, from)
 	p.recompute()
 }
@@ -151,95 +290,146 @@ func (p *Protocol) LinkDown(neighbor routing.NodeID) {
 // database is synchronized to the neighbor.
 func (p *Protocol) LinkUp(neighbor routing.NodeID) {
 	p.up[neighbor] = true
-	for _, origin := range p.sortedOrigins() {
-		p.node.SendControl(neighbor, &Flood{LSA: p.db[origin]})
+	for o := range p.db {
+		if !p.have[o] {
+			continue
+		}
+		f := p.pool.get()
+		f.LSA = p.db[o]
+		p.node.SendControl(neighbor, f)
 	}
 	p.originate()
 }
 
 // recompute runs shortest-path first over the link-state database and
 // installs next hops. An edge is used only when both endpoints advertise
-// it (the two-way check).
+// it (the two-way check). All work happens in the persistent scratch.
 func (p *Protocol) recompute() {
 	self := p.node.ID()
-	adj := make(map[routing.NodeID][]routing.NodeID, len(p.db))
-	for _, origin := range p.sortedOrigins() {
-		lsa := p.db[origin]
-		for _, n := range lsa.Neighbors {
-			if other, ok := p.db[n]; ok && containsID(other.Neighbors, origin) {
-				adj[origin] = append(adj[origin], n)
+	n := len(p.db)
+	s := &p.spf
+	s.size(n)
+
+	// Build the CSR adjacency in ascending-origin order.
+	s.adjList = s.adjList[:0]
+	for o := 0; o < n; o++ {
+		s.adjOff[o] = int32(len(s.adjList))
+		if !p.have[o] {
+			continue
+		}
+		for _, nb := range p.db[o].Neighbors {
+			if int(nb) < n && p.have[nb] && containsID(p.db[nb].Neighbors, routing.NodeID(o)) {
+				s.adjList = append(s.adjList, nb)
 			}
 		}
 	}
-	// BFS from self; unit costs make this Dijkstra.
-	dist := map[routing.NodeID]int{self: 0}
-	order := []routing.NodeID{self}
-	queue := []routing.NodeID{self}
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
-		for _, v := range adj[u] {
-			if _, seen := dist[v]; seen {
+	s.adjOff[n] = int32(len(s.adjList))
+
+	// BFS from self; unit costs make this Dijkstra. order doubles as the
+	// queue and ends up in nondecreasing-distance order.
+	s.next()
+	s.order = append(s.order[:0], self)
+	s.dist[self] = 0
+	s.distEpoch[self] = s.epoch
+	for head := 0; head < len(s.order); head++ {
+		u := s.order[head]
+		du := s.dist[u]
+		for _, v := range s.adjList[s.adjOff[u]:s.adjOff[u+1]] {
+			if s.distEpoch[v] == s.epoch {
 				continue
 			}
-			dist[v] = dist[u] + 1
-			order = append(order, v)
-			queue = append(queue, v)
+			s.distEpoch[v] = s.epoch
+			s.dist[v] = du + 1
+			s.order = append(s.order, v)
 		}
 	}
-	// Resolve every equal-cost first hop in (distance, ID) order so each
-	// node's set is complete before its children consult it.
-	sort.Slice(order, func(i, j int) bool {
-		if dist[order[i]] != dist[order[j]] {
-			return dist[order[i]] < dist[order[j]]
+
+	// Counting sort into (distance, ID) ascending order: count each BFS
+	// level, turn counts into level offsets, then place nodes by one
+	// ascending-ID scan — so each level is filled in ID order. This is the
+	// order the old sort.Slice produced (keys are unique, so it is exact),
+	// and it guarantees each node's first-hop set is complete before its
+	// children consult it.
+	maxDist := int(s.dist[s.order[len(s.order)-1]])
+	if len(s.bucket) < maxDist+1 {
+		s.bucket = make([]int32, maxDist+1)
+	}
+	for d := 0; d <= maxDist; d++ {
+		s.bucket[d] = 0
+	}
+	for _, v := range s.order {
+		s.bucket[s.dist[v]]++
+	}
+	var off int32
+	for d := 0; d <= maxDist; d++ {
+		c := s.bucket[d]
+		s.bucket[d] = off
+		off += c
+	}
+	if cap(s.sorted) < len(s.order) {
+		s.sorted = make([]routing.NodeID, len(s.order))
+	}
+	s.sorted = s.sorted[:len(s.order)]
+	for v := 0; v < n; v++ {
+		if s.distEpoch[v] == s.epoch {
+			d := s.dist[v]
+			s.sorted[s.bucket[d]] = routing.NodeID(v)
+			s.bucket[d]++
 		}
-		return order[i] < order[j]
-	})
-	firstHops := make(map[routing.NodeID][]routing.NodeID, len(order))
-	for _, v := range order {
+	}
+
+	// Resolve every equal-cost first hop in (distance, ID) order.
+	for _, v := range s.sorted {
 		if v == self {
 			continue
 		}
-		set := make(map[routing.NodeID]bool)
-		for _, u := range adj[v] { // adj is symmetric (two-way check)
-			if dist2, ok := dist[u]; !ok || dist2 != dist[v]-1 {
+		hops := s.firstHops[v][:0]
+		mark := s.nextHopEpoch()
+		dv := s.dist[v]
+		for _, u := range s.adjList[s.adjOff[v]:s.adjOff[v+1]] { // adj is symmetric (two-way check)
+			if s.distEpoch[u] != s.epoch || s.dist[u] != dv-1 {
 				continue
 			}
 			if u == self {
-				set[v] = true
+				if s.hopSeen[v] != mark {
+					s.hopSeen[v] = mark
+					hops = append(hops, v)
+				}
 				continue
 			}
-			for _, h := range firstHops[u] {
-				set[h] = true
+			for _, h := range s.firstHops[u] {
+				if s.hopSeen[h] != mark {
+					s.hopSeen[h] = mark
+					hops = append(hops, h)
+				}
 			}
 		}
-		hops := make([]routing.NodeID, 0, len(set))
-		for h := range set {
-			hops = append(hops, h)
+		// Insertion sort: hop sets are tiny (old code sorted a map's keys).
+		for i := 1; i < len(hops); i++ {
+			h := hops[i]
+			j := i - 1
+			for j >= 0 && hops[j] > h {
+				hops[j+1] = hops[j]
+				j--
+			}
+			hops[j+1] = h
 		}
-		sort.Slice(hops, func(i, j int) bool { return hops[i] < hops[j] })
-		firstHops[v] = hops
+		s.firstHops[v] = hops
 		p.node.SetRoute(v, hops[0])
 		if p.cfg.ECMP {
-			p.node.SetMultipath(v, hops)
+			// SetMultipath retains the slice, so hand it a copy the scratch
+			// won't overwrite next run.
+			p.node.SetMultipath(v, append([]routing.NodeID(nil), hops...))
 		}
 	}
-	// Destinations in the database but unreachable lose their routes.
-	for _, origin := range p.sortedOrigins() {
-		if _, ok := dist[origin]; !ok {
-			p.node.ClearRoute(origin)
-			p.node.SetMultipath(origin, nil)
-		}
-	}
-}
 
-func (p *Protocol) sortedOrigins() []routing.NodeID {
-	out := make([]routing.NodeID, 0, len(p.db))
-	for o := range p.db {
-		out = append(out, o)
+	// Destinations in the database but unreachable lose their routes.
+	for o := 0; o < n; o++ {
+		if p.have[o] && s.distEpoch[o] != s.epoch {
+			p.node.ClearRoute(routing.NodeID(o))
+			p.node.SetMultipath(routing.NodeID(o), nil)
+		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
 }
 
 func containsID(list []routing.NodeID, id routing.NodeID) bool {
