@@ -5,7 +5,10 @@
 // Usage:
 //
 //	convsim [-protocol dbf] [-degree 4] [-rows 7] [-cols 7] [-trials 10]
-//	        [-seed 1] [-flows 1] [-rate 20]
+//	        [-seed 1] [-flows 1] [-rate 20] [-timeline out.ndjson]
+//
+// With -timeline, trial 0 is replayed with the convergence timeline
+// attached and the records are written as NDJSON (schema: OBSERVABILITY.md).
 package main
 
 import (
@@ -15,6 +18,7 @@ import (
 	"time"
 
 	"routeconv"
+	"routeconv/internal/core"
 )
 
 func main() {
@@ -26,30 +30,23 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("convsim", flag.ContinueOnError)
+	ef := core.ExperimentFlags{MeshFlags: core.DefaultMeshFlags(), Protocol: "dbf", Seed: 1}
+	ef.Register(fs)
 	var (
-		protoName = fs.String("protocol", "dbf", "routing protocol: rip, dbf, bgp, bgp3, ls")
-		degree    = fs.Int("degree", 4, "mesh node degree (3-16)")
-		rows      = fs.Int("rows", 7, "mesh rows")
-		cols      = fs.Int("cols", 7, "mesh columns")
-		trials    = fs.Int("trials", 10, "independent trials")
-		seed      = fs.Int64("seed", 1, "base random seed")
-		flows     = fs.Int("flows", 1, "concurrent sender/receiver pairs")
-		rate      = fs.Int("rate", 20, "packets per second per flow")
-		detail    = fs.Bool("detail", false, "print per-trial detail")
+		trials   = fs.Int("trials", 10, "independent trials")
+		flows    = fs.Int("flows", 1, "concurrent sender/receiver pairs")
+		rate     = fs.Int("rate", 20, "packets per second per flow")
+		detail   = fs.Bool("detail", false, "print per-trial detail")
+		timeline = fs.String("timeline", "", "write trial 0's convergence timeline to this NDJSON file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	proto, err := routeconv.ParseProtocol(*protoName)
+	cfg, err := ef.Config()
 	if err != nil {
 		return err
 	}
-	cfg := routeconv.DefaultConfig()
-	cfg.Protocol = proto
-	cfg.Degree = *degree
-	cfg.Rows, cfg.Cols = *rows, *cols
 	cfg.Trials = *trials
-	cfg.Seed = *seed
 	cfg.Flows = *flows
 	cfg.PacketInterval = time.Second / time.Duration(*rate)
 
@@ -59,7 +56,7 @@ func run(args []string) error {
 	}
 
 	fmt.Printf("protocol=%s degree=%d mesh=%dx%d trials=%d flows=%d rate=%d pps\n",
-		proto, *degree, *rows, *cols, *trials, *flows, *rate)
+		cfg.Protocol, ef.Degree, ef.Rows, ef.Cols, *trials, *flows, *rate)
 	fmt.Printf("failure at %v on the flow's forwarding path; run ends at %v\n\n", cfg.FailAt, cfg.End)
 	fmt.Printf("warmed-up trials:            %d/%d\n", res.WarmedUpTrials, *trials)
 	fmt.Printf("mean drops (no route):       %.1f\n", res.MeanNoRouteDrops)
@@ -99,5 +96,30 @@ func run(args []string) error {
 		}
 		fmt.Printf("%6d  %12.1f  %10s\n", bin, res.MeanThroughput[bin], delay)
 	}
+
+	if *timeline != "" {
+		if err := writeTimeline(cfg, *timeline); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote trial 0 convergence timeline to %s\n", *timeline)
+	}
 	return nil
+}
+
+// writeTimeline replays trial 0 with the convergence timeline attached and
+// writes the records as NDJSON.
+func writeTimeline(cfg routeconv.Config, path string) error {
+	tl := routeconv.NewTimeline()
+	if _, err := routeconv.TraceTimeline(cfg, 0, tl); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tl.WriteNDJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

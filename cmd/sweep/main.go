@@ -9,8 +9,9 @@
 // Usage:
 //
 //	sweep [-spec spec.json] [-protocols rip,dbf,bgp,bgp3] [-degrees 3-10]
-//	      [-trials N] [-seed S] [-out DIR] [-cache DIR] [-workers N]
-//	      [-force] [-plan] [-q] [-cpuprofile FILE] [-memprofile FILE]
+//	      [-trials N] [-seed S] [-metrics] [-out DIR] [-cache DIR]
+//	      [-workers N] [-force] [-plan] [-q] [-cpuprofile FILE]
+//	      [-memprofile FILE]
 //
 // Outputs, written atomically under -out: summary.{txt,csv} (the per-cell
 // headline metrics) and manifest.json (spec, module version, per-cell keys,
@@ -54,6 +55,7 @@ func run(ctx context.Context, args []string) error {
 		cacheDir      = fs.String("cache", "", "result cache directory (default OUT/cache; \"off\" disables)")
 		workers       = fs.Int("workers", 0, "concurrent cells (default GOMAXPROCS)")
 		force         = fs.Bool("force", false, "re-execute every cell, ignoring cache and journal")
+		metrics       = fs.Bool("metrics", false, "record obs counters per cell into manifest.json (changes cache keys)")
 		plan          = fs.Bool("plan", false, "print the expanded cell plan and exit without running")
 		quiet         = fs.Bool("q", false, "suppress progress output")
 		cpuProfile    = fs.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
@@ -107,6 +109,9 @@ func run(ctx context.Context, args []string) error {
 			Trials:    *trials,
 			Seed:      *seed,
 		}
+	}
+	if *metrics {
+		spec.Metrics = true
 	}
 
 	if *plan {

@@ -13,6 +13,7 @@ import (
 	"os"
 	"sort"
 
+	"routeconv/internal/core"
 	"routeconv/internal/topology"
 )
 
@@ -25,10 +26,9 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("topoview", flag.ContinueOnError)
+	mf := core.DefaultMeshFlags()
+	mf.Register(fs)
 	var (
-		rows      = fs.Int("rows", 7, "mesh rows")
-		cols      = fs.Int("cols", 7, "mesh columns")
-		degree    = fs.Int("degree", 4, "target interior node degree (3-16)")
 		showEdges = fs.Bool("edges", false, "dump the edge list")
 		sweep     = fs.Bool("sweep", false, "print one summary line per degree 3-16")
 	)
@@ -38,7 +38,7 @@ func run(args []string) error {
 	if *sweep {
 		fmt.Printf("%6s  %6s  %6s  %9s  %8s\n", "degree", "nodes", "edges", "diameter", "avgpath")
 		for d := 3; d <= topology.MaxMeshDegree && d <= 16; d++ {
-			m, err := topology.NewMesh(*rows, *cols, d)
+			m, err := topology.NewMesh(mf.Rows, mf.Cols, d)
 			if err != nil {
 				return err
 			}
@@ -47,11 +47,11 @@ func run(args []string) error {
 		return nil
 	}
 
-	m, err := topology.NewMesh(*rows, *cols, *degree)
+	m, err := topology.NewMesh(mf.Rows, mf.Cols, mf.Degree)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("mesh %dx%d, target degree %d\n", *rows, *cols, *degree)
+	fmt.Printf("mesh %dx%d, target degree %d\n", mf.Rows, mf.Cols, mf.Degree)
 	fmt.Printf("nodes: %d  edges: %d  connected: %v  diameter: %d  avg shortest path: %.2f\n",
 		m.Len(), m.NumEdges(), m.Connected(), m.Diameter(), avgPathLength(m.Graph))
 

@@ -5,6 +5,11 @@
 // Usage:
 //
 //	tracer [-protocol bgp] [-degree 5] [-trial 0] [-seed 1] [-window 60s]
+//	       [-timeline out.ndjson]
+//
+// With -timeline, the replayed trial's convergence timeline (link, FIB,
+// withdrawal and flap-damping events) is written as NDJSON (schema:
+// OBSERVABILITY.md).
 package main
 
 import (
@@ -16,6 +21,7 @@ import (
 
 	"routeconv/internal/core"
 	"routeconv/internal/netsim"
+	"routeconv/internal/obs"
 	"routeconv/internal/trace"
 )
 
@@ -28,38 +34,53 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("tracer", flag.ContinueOnError)
+	ef := core.ExperimentFlags{MeshFlags: core.DefaultMeshFlags(), Protocol: "bgp", Seed: 1}
+	ef.Degree = 5
+	ef.Register(fs)
 	var (
-		protoName = fs.String("protocol", "bgp", "routing protocol: rip, dbf, bgp, bgp3, ls")
-		degree    = fs.Int("degree", 5, "mesh node degree")
-		trial     = fs.Int("trial", 0, "which trial of the experiment to replay")
-		seed      = fs.Int64("seed", 1, "base random seed")
-		window    = fs.Duration("window", 60*time.Second, "how long after the failure to print events")
-		allDsts   = fs.Bool("all-destinations", false, "print route changes for every destination, not just the flow's")
+		trial    = fs.Int("trial", 0, "which trial of the experiment to replay")
+		window   = fs.Duration("window", 60*time.Second, "how long after the failure to print events")
+		allDsts  = fs.Bool("all-destinations", false, "print route changes for every destination, not just the flow's")
+		timeline = fs.String("timeline", "", "write the trial's convergence timeline to this NDJSON file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	proto, err := core.ParseProtocol(*protoName)
+	cfg, err := ef.Config()
 	if err != nil {
 		return err
 	}
-	cfg := core.DefaultConfig()
-	cfg.Protocol = proto
-	cfg.Degree = *degree
-	cfg.Seed = *seed
 	cfg.Trials = *trial + 1
 	cfg.Net.RecordHops = true
 
-	tr, col, err := core.Trace(cfg, *trial)
+	var tl *obs.Timeline
+	if *timeline != "" {
+		tl = obs.NewTimeline()
+	}
+	tr, col, err := core.TraceObserved(cfg, *trial, tl)
 	if err != nil {
 		return err
+	}
+	if tl != nil {
+		f, err := os.Create(*timeline)
+		if err != nil {
+			return err
+		}
+		if err := tl.WriteNDJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote convergence timeline (%d records) to %s\n", tl.Len(), *timeline)
 	}
 
 	rel := func(at time.Duration) string {
 		return fmt.Sprintf("%+9.3fs", (at - cfg.FailAt).Seconds())
 	}
 
-	fmt.Printf("trial %d of %s at degree %d (seed %d)\n", *trial, proto, *degree, tr.Seed)
+	fmt.Printf("trial %d of %s at degree %d (seed %d)\n", *trial, cfg.Protocol, ef.Degree, tr.Seed)
 	fmt.Printf("flow: host→router %d ... router %d→host; failed link %d-%d at t=%v\n",
 		tr.SenderRouter, tr.ReceiverRouter, tr.FailedLink.A, tr.FailedLink.B, cfg.FailAt)
 	fmt.Printf("outcome: delivered %d/%d, drops noroute=%d ttl=%d linkfail=%d queue=%d, loop escapes=%d\n",

@@ -1,0 +1,51 @@
+package core
+
+import "flag"
+
+// MeshFlags bundles the mesh-geometry command-line flags shared by the
+// repo's CLIs (convsim, tracer, topoview). Set the fields to the desired
+// defaults, then call Register before parsing.
+type MeshFlags struct {
+	Rows, Cols, Degree int
+}
+
+// DefaultMeshFlags returns the paper's mesh geometry (7×7, degree 4).
+func DefaultMeshFlags() MeshFlags { return MeshFlags{Rows: 7, Cols: 7, Degree: 4} }
+
+// Register declares -rows, -cols and -degree on fs, using the current
+// field values as defaults.
+func (m *MeshFlags) Register(fs *flag.FlagSet) {
+	fs.IntVar(&m.Rows, "rows", m.Rows, "mesh rows")
+	fs.IntVar(&m.Cols, "cols", m.Cols, "mesh columns")
+	fs.IntVar(&m.Degree, "degree", m.Degree, "target interior node degree (3-16)")
+}
+
+// ExperimentFlags bundles the experiment-selection flags shared by convsim
+// and tracer: mesh geometry plus protocol and seed.
+type ExperimentFlags struct {
+	MeshFlags
+	Protocol string
+	Seed     int64
+}
+
+// Register declares the mesh flags plus -protocol and -seed on fs, using
+// the current field values as defaults.
+func (e *ExperimentFlags) Register(fs *flag.FlagSet) {
+	e.MeshFlags.Register(fs)
+	fs.StringVar(&e.Protocol, "protocol", e.Protocol, "routing protocol: rip, dbf, bgp, bgp3, ls")
+	fs.Int64Var(&e.Seed, "seed", e.Seed, "base random seed")
+}
+
+// Config resolves the parsed flags into an experiment configuration:
+// DefaultConfig overlaid with the flag values.
+func (e *ExperimentFlags) Config() (Config, error) {
+	proto, err := ParseProtocol(e.Protocol)
+	if err != nil {
+		return Config{}, err
+	}
+	cfg := DefaultConfig()
+	cfg.Protocol = proto
+	cfg.Rows, cfg.Cols, cfg.Degree = e.Rows, e.Cols, e.Degree
+	cfg.Seed = e.Seed
+	return cfg, nil
+}

@@ -161,6 +161,12 @@ type Config struct {
 	// fails at FailAt + i·2·RestoreAfter. Used by the route-flap-damping
 	// experiments.
 	Flaps int
+	// Metrics enables the obs counter layer: each trial carries a
+	// TrialResult.Metrics snapshot (and the Result sums them). Counting is
+	// passive — it never changes simulation outcomes — but the flag is part
+	// of the canonical config, so sweep cache keys differ between metered
+	// and unmetered runs.
+	Metrics bool
 	// Net holds the physical link parameters.
 	Net netsim.Config
 	// Vector parameterizes RIP and DBF.

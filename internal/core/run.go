@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"routeconv/internal/netsim"
+	"routeconv/internal/obs"
 	"routeconv/internal/sim"
 	"routeconv/internal/stats"
 	"routeconv/internal/topology"
@@ -57,6 +58,10 @@ type TrialResult struct {
 	DelayP50, DelayP95, DelayMax float64
 	// ControlMessages and ControlBytes count all routing traffic.
 	ControlMessages, ControlBytes uint64
+	// Metrics is the trial's obs counter snapshot, populated only when
+	// Config.Metrics is set (nil otherwise). Names are documented in
+	// OBSERVABILITY.md.
+	Metrics obs.Snapshot `json:",omitempty"`
 }
 
 // Result aggregates an experiment's trials.
@@ -85,6 +90,8 @@ type Result struct {
 	MeanDelay      []float64
 	// WarmedUpTrials counts trials whose flow was converged at FailAt.
 	WarmedUpTrials int
+	// Metrics sums the trials' obs snapshots; nil unless Config.Metrics.
+	Metrics obs.Snapshot `json:",omitempty"`
 }
 
 // Run executes the experiment: cfg.Trials independent simulations in
@@ -119,7 +126,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 				if ctx.Err() != nil {
 					continue // drain; the error is reported once below
 				}
-				tr, _, err := runTrial(&cfg, i)
+				tr, _, err := runTrial(&cfg, i, nil)
 				if err != nil {
 					mu.Lock()
 					if firstErr == nil {
@@ -174,23 +181,38 @@ type flow struct {
 // forwarding trace files". trial selects which of the experiment's seeds
 // to replay; Trace(cfg, i) reproduces trial i of Run(cfg) exactly.
 func Trace(cfg Config, trial int) (TrialResult, *trace.Collector, error) {
+	return TraceObserved(cfg, trial, nil)
+}
+
+// TraceObserved is Trace with an optional convergence timeline: when tl is
+// non-nil, the trial's link, FIB, withdrawal, and flap-damping events are
+// recorded into it and the summary records synthesized (obs.Timeline.Finish
+// runs against the configured failure time). Recording is passive — the
+// trial's results are bit-for-bit those of Trace.
+func TraceObserved(cfg Config, trial int, tl *obs.Timeline) (TrialResult, *trace.Collector, error) {
 	if err := cfg.Validate(); err != nil {
 		return TrialResult{}, nil, err
 	}
 	if trial < 0 || trial >= cfg.Trials {
 		return TrialResult{}, nil, fmt.Errorf("core: trial %d out of range [0, %d)", trial, cfg.Trials)
 	}
-	return runTrial(&cfg, trial)
+	return runTrial(&cfg, trial, tl)
 }
 
-// runTrial builds and runs one simulation.
-func runTrial(cfg *Config, trial int) (TrialResult, *trace.Collector, error) {
+// runTrial builds and runs one simulation. tl, when non-nil, receives the
+// trial's convergence timeline.
+func runTrial(cfg *Config, trial int, tl *obs.Timeline) (TrialResult, *trace.Collector, error) {
 	factory, err := cfg.factory()
 	if err != nil {
 		return TrialResult{}, nil, err
 	}
 	seed := cfg.Seed + int64(trial)*seedStride
 	s := sim.New(seed)
+	var met *obs.Metrics
+	if cfg.Metrics {
+		met = obs.NewMetrics()
+	}
+	tl.TrialStart(0, seed)
 
 	// The router topology: the paper's mesh by default, or a caller-
 	// supplied graph (cloned, because each trial adds its own host nodes).
@@ -227,6 +249,7 @@ func runTrial(cfg *Config, trial int) (TrialResult, *trace.Collector, error) {
 	}
 
 	net := netsim.FromGraph(s, g, cfg.Net, observers)
+	net.Instrument(met, tl)
 	for _, f := range flows {
 		f.collector.SetNetwork(net)
 	}
@@ -335,6 +358,8 @@ func runTrial(cfg *Config, trial int) (TrialResult, *trace.Collector, error) {
 	}
 
 	s.RunUntil(cfg.End)
+	met.Set(obs.EventsFired, s.Fired())
+	tl.Finish(cfg.FailAt)
 
 	c := primary.collector
 	nBins := int((cfg.End - cfg.SenderStart) / time.Second)
@@ -373,6 +398,7 @@ func runTrial(cfg *Config, trial int) (TrialResult, *trace.Collector, error) {
 		DelayMax:              delaySummary.Max,
 		ControlMessages:       st.ControlSent,
 		ControlBytes:          st.ControlBytes,
+		Metrics:               met.Snapshot(),
 	}, c, nil
 }
 
@@ -512,6 +538,7 @@ func (r *Result) aggregate() {
 		}
 		throughputs = append(throughputs, t.Throughput)
 		delays = append(delays, t.Delay)
+		r.Metrics = r.Metrics.Merge(t.Metrics)
 	}
 	fn := float64(n)
 	r.MeanNoRouteDrops /= fn

@@ -2,6 +2,8 @@ package netsim
 
 import (
 	"testing"
+
+	"routeconv/internal/obs"
 )
 
 // One-hop data forwarding must allocate exactly one object per packet: the
@@ -26,5 +28,31 @@ func TestForwardingOneHopAllocs(t *testing.T) {
 	}
 	if got := net.Stats().DataDelivered - before; got < runs {
 		t.Fatalf("delivered %d packets during the guard, want ≥ %d", got, runs)
+	}
+}
+
+// Enabling the obs counters must not add a single allocation to the
+// forwarding path: counting is fixed-array arithmetic on a pre-allocated
+// Metrics. (The timeline is deliberately absent here — it records only
+// control-plane events, so the data path never touches it.)
+func TestForwardingInstrumentedAllocs(t *testing.T) {
+	s, net := benchLine(2)
+	met := obs.NewMetrics()
+	net.Instrument(met, nil)
+	src := net.Node(0)
+	for i := 0; i < 16; i++ {
+		src.SendData(1, 1000, 64)
+		s.Run()
+	}
+	const runs = 1000
+	avg := testing.AllocsPerRun(runs, func() {
+		src.SendData(1, 1000, 64)
+		s.Run()
+	})
+	if avg > 1 {
+		t.Errorf("instrumented one-hop forwarding allocates %.1f objects per packet, want 1 (the Packet)", avg)
+	}
+	if got := met.Get(obs.PacketsDelivered); got < runs {
+		t.Fatalf("metrics counted %d delivered packets, want ≥ %d", got, runs)
 	}
 }

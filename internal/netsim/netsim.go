@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"routeconv/internal/obs"
 	"routeconv/internal/sim"
 	"routeconv/internal/topology"
 )
@@ -80,8 +81,12 @@ type Network struct {
 	linkList []*Link // sorted by edge; nil when invalidated by Connect
 	observer Observer
 	stats    Stats
-	nextID   uint64
-	started  bool
+	// met and tl are the optional obs instrumentation; both are nil-safe
+	// no-ops when the network is not Instrumented.
+	met     *obs.Metrics
+	tl      *obs.Timeline
+	nextID  uint64
+	started bool
 	// serCache memoizes serialization delay by packet size: the study's
 	// packet sizes are fixed per kind, so the division runs once per size.
 	serCache []time.Duration
@@ -93,20 +98,20 @@ type Network struct {
 
 // New returns an empty network using the given engine and link parameters.
 // A nil observer is replaced with NopObserver.
-func New(s *sim.Simulator, cfg Config, obs Observer) *Network {
+func New(s *sim.Simulator, cfg Config, o Observer) *Network {
 	if cfg.LinkRateBps <= 0 {
 		panic("netsim: LinkRateBps must be positive")
 	}
-	if obs == nil {
-		obs = NopObserver{}
+	if o == nil {
+		o = NopObserver{}
 	}
-	return &Network{sim: s, cfg: cfg, links: make(map[topology.Edge]*Link), observer: obs}
+	return &Network{sim: s, cfg: cfg, links: make(map[topology.Edge]*Link), observer: o}
 }
 
 // FromGraph returns a network with one node per graph node and one link per
 // graph edge.
-func FromGraph(s *sim.Simulator, g *topology.Graph, cfg Config, obs Observer) *Network {
-	n := New(s, cfg, obs)
+func FromGraph(s *sim.Simulator, g *topology.Graph, cfg Config, o Observer) *Network {
+	n := New(s, cfg, o)
 	for i := 0; i < g.Len(); i++ {
 		n.AddNode()
 	}
@@ -118,6 +123,22 @@ func FromGraph(s *sim.Simulator, g *topology.Graph, cfg Config, obs Observer) *N
 
 // Sim returns the driving simulator.
 func (n *Network) Sim() *sim.Simulator { return n.sim }
+
+// Instrument attaches an obs metrics set and/or convergence timeline to the
+// network. Either may be nil; instrumentation is strictly passive (no
+// events scheduled, no randomness consumed), so attaching it never changes
+// simulation outcomes. Call before Start.
+func (n *Network) Instrument(m *obs.Metrics, tl *obs.Timeline) {
+	n.met = m
+	n.tl = tl
+}
+
+// Metrics returns the attached obs counter set (nil when uninstrumented).
+func (n *Network) Metrics() *obs.Metrics { return n.met }
+
+// Timeline returns the attached convergence timeline (nil when
+// uninstrumented).
+func (n *Network) Timeline() *obs.Timeline { return n.tl }
 
 // Stats returns the network-wide counters accumulated so far.
 func (n *Network) Stats() Stats { return n.stats }
@@ -212,11 +233,13 @@ func (n *Network) FailLink(a, b NodeID) {
 		return
 	}
 	l.down = true
+	n.tl.Link(n.sim.Now(), obs.KindLinkDown, int(a), int(b))
 	n.sim.Schedule(n.cfg.DetectDelay, func() {
 		if !l.down || l.detectedDown {
 			return // recovered before detection, or already detected
 		}
 		l.detectedDown = true
+		n.tl.Link(n.sim.Now(), obs.KindLinkDownDetected, int(a), int(b))
 		n.notifyLink(l, false)
 	})
 }
@@ -232,11 +255,13 @@ func (n *Network) RestoreLink(a, b NodeID) {
 		return
 	}
 	l.down = false
+	n.tl.Link(n.sim.Now(), obs.KindLinkUp, int(a), int(b))
 	n.sim.Schedule(n.cfg.DetectDelay, func() {
 		if l.down || !l.detectedDown {
 			return // failed again before detection, or failure never detected
 		}
 		l.detectedDown = false
+		n.tl.Link(n.sim.Now(), obs.KindLinkUpDetected, int(a), int(b))
 		n.notifyLink(l, true)
 	})
 }
@@ -310,11 +335,23 @@ func (n *Network) serialization(size int) time.Duration {
 	return d
 }
 
+// dropCounter maps a DropReason to its obs data-drop counter (reasons
+// start at 1; index 0 is unused).
+var dropCounter = [numDropReasons]obs.Counter{
+	DropNoRoute:       obs.DropNoRoute,
+	DropTTLExpired:    obs.DropTTLExpired,
+	DropQueueOverflow: obs.DropQueueOverflow,
+	DropLinkFailure:   obs.DropLinkFailure,
+}
+
 func (n *Network) drop(where NodeID, pkt *Packet, reason DropReason) {
 	if pkt.Control() {
 		n.stats.ControlDrops[reason]++
+		n.met.Inc(obs.ControlDropped)
 	} else {
 		n.stats.DataDrops[reason]++
+		n.met.Inc(dropCounter[reason])
+		n.met.PacketOut()
 	}
 	n.observer.PacketDropped(n.sim.Now(), where, pkt, reason)
 	if pm, ok := pkt.Payload.(PooledMessage); ok {
@@ -407,6 +444,7 @@ func (p *port) send(pkt *Packet) {
 		p.push(pkt)
 		if !pkt.Control() {
 			p.inQ++
+			p.owner.net.met.ObserveQueueDepth(p.inQ)
 		}
 		return
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"routeconv/internal/obs"
 	"routeconv/internal/sim"
 )
 
@@ -51,6 +52,16 @@ func (nd *Node) ID() NodeID { return nd.id }
 
 // Sim returns the driving simulator, for protocol timers and randomness.
 func (nd *Node) Sim() *sim.Simulator { return nd.net.sim }
+
+// Metrics returns the network's obs counter set, for protocol-level
+// counters. It reads through the network at call time, so attach order
+// relative to Network.Instrument does not matter; nil (a no-op recorder)
+// when the network is uninstrumented.
+func (nd *Node) Metrics() *obs.Metrics { return nd.net.met }
+
+// Timeline returns the network's convergence timeline, for protocol-level
+// records (withdrawals, flap damping). Nil when uninstrumented.
+func (nd *Node) Timeline() *obs.Timeline { return nd.net.tl }
 
 // NetworkSize returns the number of nodes in the network. Node IDs are
 // contiguous from 0, so protocols use it to size dense per-destination
@@ -131,6 +142,8 @@ func (nd *Node) SetRoute(dst, nextHop NodeID) {
 		return
 	}
 	nd.fibSet(dst, nextHop)
+	nd.net.met.Inc(obs.FIBChanges)
+	nd.net.tl.FIBChange(nd.net.sim.Now(), int(nd.id), int(dst), int(nextHop))
 	nd.net.observer.RouteChanged(nd.net.sim.Now(), nd.id, dst, nextHop, false)
 }
 
@@ -140,6 +153,8 @@ func (nd *Node) ClearRoute(dst NodeID) {
 		return
 	}
 	nd.fib[dst] = noRoute
+	nd.net.met.Inc(obs.FIBRemovals)
+	nd.net.tl.FIBRemove(nd.net.sim.Now(), int(nd.id), int(dst))
 	nd.net.observer.RouteChanged(nd.net.sim.Now(), nd.id, dst, 0, true)
 }
 
@@ -231,6 +246,8 @@ func (nd *Node) SendControl(to NodeID, msg Message) {
 	net.nextID++
 	net.stats.ControlSent++
 	net.stats.ControlBytes += uint64(pkt.Size)
+	net.met.Inc(obs.ControlSent)
+	net.met.Add(obs.ControlBytes, uint64(pkt.Size))
 	p.send(pkt)
 }
 
@@ -248,6 +265,8 @@ func (nd *Node) SendData(dst NodeID, size, ttl int) {
 	}
 	net.nextID++
 	net.stats.DataSent++
+	net.met.Inc(obs.PacketsSent)
+	net.met.PacketIn()
 	if net.cfg.RecordHops {
 		pkt.Trace = append(pkt.Trace, nd.id)
 	}
@@ -257,6 +276,7 @@ func (nd *Node) SendData(dst NodeID, size, ttl int) {
 // receive handles a packet arriving from a neighbor.
 func (nd *Node) receive(from NodeID, pkt *Packet) {
 	if pkt.Control() {
+		nd.net.met.Inc(obs.ControlReceived)
 		if nd.proto != nil {
 			nd.proto.HandleMessage(from, pkt.Payload)
 		}
@@ -271,6 +291,8 @@ func (nd *Node) receive(from NodeID, pkt *Packet) {
 	}
 	if pkt.Dst == nd.id {
 		nd.net.stats.DataDelivered++
+		nd.net.met.Inc(obs.PacketsDelivered)
+		nd.net.met.PacketOut()
 		nd.net.observer.PacketDelivered(nd.net.sim.Now(), pkt)
 		return
 	}
@@ -322,6 +344,7 @@ func (nd *Node) forward(pkt *Packet) {
 		nd.net.drop(nd.id, pkt, DropNoRoute)
 		return
 	}
+	nd.net.met.Inc(obs.PacketsForwarded)
 	p.send(pkt)
 }
 

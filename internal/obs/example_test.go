@@ -1,0 +1,54 @@
+package obs_test
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"routeconv/internal/obs"
+)
+
+// ExampleMetrics records a few data-plane events and prints the resulting
+// snapshot — the same named form that lands in TrialResult.Metrics and in
+// sweep manifests.
+func ExampleMetrics() {
+	m := obs.NewMetrics()
+	for i := 0; i < 5; i++ {
+		m.Inc(obs.PacketsSent)
+		m.PacketIn()
+	}
+	for i := 0; i < 4; i++ {
+		m.Inc(obs.PacketsDelivered)
+		m.PacketOut()
+	}
+	m.Inc(obs.DropNoRoute)
+	m.PacketOut()
+
+	snap := m.Snapshot()
+	for _, k := range snap.Keys() {
+		fmt.Printf("%s %d\n", k, snap[k])
+	}
+	// Output:
+	// drops.no_route 1
+	// packets.delivered 4
+	// packets.sent 5
+}
+
+// ExampleTimeline logs a miniature convergence episode and renders it as
+// NDJSON — the format cmd/convsim -timeline and cmd/tracer -timeline write.
+func ExampleTimeline() {
+	tl := obs.NewTimeline()
+	failAt := 10 * time.Second
+	tl.TrialStart(0, 1)
+	tl.Link(failAt, obs.KindLinkDown, 24, 25)
+	tl.FIBChange(failAt+52*time.Millisecond, 24, 48, 17)
+	tl.Finish(failAt)
+	tl.WriteNDJSON(os.Stdout)
+	// Output:
+	// {"t_ns":0,"event":"trial_start","seed":1}
+	// {"t_ns":10000000000,"event":"link_down","node":24,"peer":25}
+	// {"t_ns":10052000000,"event":"fib_change","node":24,"dst":48,"next_hop":17}
+	// {"t_ns":10052000000,"event":"fib_first_change","node":24}
+	// {"t_ns":10052000000,"event":"fib_last_change","node":24}
+	// {"t_ns":10052000000,"event":"convergence_complete"}
+}

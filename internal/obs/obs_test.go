@@ -1,0 +1,214 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCounterNamesComplete(t *testing.T) {
+	for c := Counter(0); c < numCounters; c++ {
+		if counterNames[c] == "" {
+			t.Errorf("counter %d has no name", c)
+		}
+	}
+	seen := map[string]Counter{}
+	for c := Counter(0); c < numCounters; c++ {
+		if prev, dup := seen[counterNames[c]]; dup {
+			t.Errorf("counters %d and %d share name %q", prev, c, counterNames[c])
+		}
+		seen[counterNames[c]] = c
+	}
+}
+
+func TestMetricsBasics(t *testing.T) {
+	m := NewMetrics()
+	m.Inc(PacketsSent)
+	m.Inc(PacketsSent)
+	m.Add(ControlBytes, 120)
+	m.Set(EventsFired, 42)
+	if got := m.Get(PacketsSent); got != 2 {
+		t.Errorf("PacketsSent = %d, want 2", got)
+	}
+	m.PacketIn()
+	m.PacketIn()
+	m.PacketOut()
+	if got := m.InFlight(); got != 1 {
+		t.Errorf("InFlight = %d, want 1", got)
+	}
+	m.ObserveQueueDepth(1)
+	m.ObserveQueueDepth(3)
+	m.ObserveQueueDepth(19)
+
+	s := m.Snapshot()
+	want := map[string]uint64{
+		"packets.sent":          2,
+		"control.bytes":         120,
+		"events.fired":          42,
+		"packets.in_flight_end": 1,
+		"queue.peak":            19,
+		"queue.depth.le1":       1,
+		"queue.depth.le4":       1,
+		"queue.depth.gt16":      1,
+	}
+	if len(s) != len(want) {
+		t.Errorf("snapshot has %d keys, want %d: %v", len(s), len(want), s)
+	}
+	for k, v := range want {
+		if s[k] != v {
+			t.Errorf("snapshot[%q] = %d, want %d", k, s[k], v)
+		}
+	}
+}
+
+func TestNilMetricsSafe(t *testing.T) {
+	var m *Metrics
+	m.Inc(PacketsSent)
+	m.Add(ControlBytes, 7)
+	m.Set(EventsFired, 7)
+	m.PacketIn()
+	m.PacketOut()
+	m.ObserveQueueDepth(5)
+	if m.Get(PacketsSent) != 0 || m.InFlight() != 0 {
+		t.Error("nil Metrics returned non-zero reads")
+	}
+	if s := m.Snapshot(); s != nil {
+		t.Errorf("nil Metrics snapshot = %v, want nil", s)
+	}
+}
+
+func TestSnapshotMerge(t *testing.T) {
+	var total Snapshot
+	total = total.Merge(Snapshot{"packets.sent": 3, "drops.no_route": 1})
+	total = total.Merge(Snapshot{"packets.sent": 2})
+	total = total.Merge(nil)
+	if total["packets.sent"] != 5 || total["drops.no_route"] != 1 {
+		t.Errorf("merged snapshot = %v", total)
+	}
+	if got := total.Keys(); len(got) != 2 || got[0] != "drops.no_route" || got[1] != "packets.sent" {
+		t.Errorf("Keys() = %v", got)
+	}
+}
+
+func TestTimelineFinish(t *testing.T) {
+	tl := NewTimeline()
+	tl.TrialStart(0, 1)
+	failAt := 10 * time.Second
+	// Pre-failure FIB churn must not count toward convergence.
+	tl.FIBChange(1*time.Second, 3, 48, 4)
+	tl.Link(failAt, KindLinkDown, 24, 25)
+	tl.FIBChange(failAt+50*time.Millisecond, 24, 48, 17)
+	tl.FIBRemove(failAt+60*time.Millisecond, 25, 48)
+	tl.FIBChange(failAt+2*time.Second, 24, 48, 31)
+	tl.Finish(failAt)
+	tl.Finish(failAt) // idempotent
+
+	byKind := map[Kind][]Record{}
+	for _, r := range tl.Records() {
+		byKind[r.Kind] = append(byKind[r.Kind], r)
+	}
+	firsts := byKind[KindFirstFIBChange]
+	lasts := byKind[KindLastFIBChange]
+	if len(firsts) != 2 || len(lasts) != 2 {
+		t.Fatalf("got %d first / %d last records, want 2/2", len(firsts), len(lasts))
+	}
+	// Ascending node order: 24 then 25.
+	if firsts[0].Node != 24 || firsts[0].At != failAt+50*time.Millisecond {
+		t.Errorf("first[0] = %+v", firsts[0])
+	}
+	if lasts[0].Node != 24 || lasts[0].At != failAt+2*time.Second {
+		t.Errorf("last[0] = %+v", lasts[0])
+	}
+	if firsts[1].Node != 25 || firsts[1].At != failAt+60*time.Millisecond {
+		t.Errorf("first[1] = %+v", firsts[1])
+	}
+	cc := byKind[KindConvergenceComplete]
+	if len(cc) != 1 || cc[0].At != failAt+2*time.Second {
+		t.Errorf("convergence_complete = %+v", cc)
+	}
+}
+
+func TestTimelineNDJSON(t *testing.T) {
+	tl := NewTimeline()
+	tl.TrialStart(0, 7)
+	tl.Link(10*time.Second, KindLinkDown, 24, 25)
+	tl.FIBChange(10*time.Second+52*time.Millisecond, 24, 48, 17)
+	tl.Withdrawal(10*time.Second+100*time.Millisecond, 25, 24, 48)
+	tl.RouteFlap(11*time.Second, KindRouteFlap, 5, 9, 48)
+	tl.Finish(10 * time.Second)
+
+	var sb strings.Builder
+	if err := tl.WriteNDJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	for _, want := range []string{
+		`{"t_ns":0,"event":"trial_start","seed":7}`,
+		`{"t_ns":10000000000,"event":"link_down","node":24,"peer":25}`,
+		`{"t_ns":10052000000,"event":"fib_change","node":24,"dst":48,"next_hop":17}`,
+		`{"t_ns":10100000000,"event":"withdrawal","node":25,"neighbor":24,"dst":48}`,
+		`{"t_ns":11000000000,"event":"route_flap","node":5,"neighbor":9,"dst":48,"state":"suppressed"}`,
+		`{"t_ns":10052000000,"event":"fib_first_change","node":24}`,
+		`{"t_ns":10052000000,"event":"convergence_complete"}`,
+	} {
+		if !strings.Contains(got, want+"\n") {
+			t.Errorf("NDJSON output missing line %s\ngot:\n%s", want, got)
+		}
+	}
+}
+
+func TestNilTimelineSafe(t *testing.T) {
+	var tl *Timeline
+	tl.TrialStart(0, 1)
+	tl.Link(0, KindLinkDown, 1, 2)
+	tl.FIBChange(0, 1, 2, 3)
+	tl.FIBRemove(0, 1, 2)
+	tl.Withdrawal(0, 1, 2, 3)
+	tl.RouteFlap(0, KindRouteFlap, 1, 2, 3)
+	tl.Finish(0)
+	if tl.Len() != 0 || tl.Records() != nil {
+		t.Error("nil Timeline accumulated records")
+	}
+	if err := tl.WriteNDJSON(nil); err != nil {
+		t.Errorf("nil Timeline WriteNDJSON: %v", err)
+	}
+}
+
+// TestMetricsOpsAllocFree pins every hot-path recording method — enabled
+// and disabled — at zero allocations; the data plane calls these per
+// packet.
+func TestMetricsOpsAllocFree(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		m    *Metrics
+	}{
+		{"enabled", NewMetrics()},
+		{"nil", nil},
+	} {
+		allocs := testing.AllocsPerRun(1000, func() {
+			tc.m.Inc(PacketsForwarded)
+			tc.m.Add(ControlBytes, 64)
+			tc.m.PacketIn()
+			tc.m.ObserveQueueDepth(3)
+			tc.m.PacketOut()
+			_ = tc.m.Get(PacketsForwarded)
+		})
+		if allocs != 0 {
+			t.Errorf("%s metrics ops: %v allocs/run, want 0", tc.name, allocs)
+		}
+	}
+}
+
+// TestNilTimelineAllocFree pins the disabled timeline recorder at zero
+// allocations (the enabled one appends, which amortizes but may grow).
+func TestNilTimelineAllocFree(t *testing.T) {
+	var tl *Timeline
+	allocs := testing.AllocsPerRun(1000, func() {
+		tl.FIBChange(0, 1, 2, 3)
+		tl.Link(0, KindLinkDown, 1, 2)
+		tl.Withdrawal(0, 1, 2, 3)
+	})
+	if allocs != 0 {
+		t.Errorf("nil timeline ops: %v allocs/run, want 0", allocs)
+	}
+}

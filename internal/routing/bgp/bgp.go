@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"routeconv/internal/netsim"
+	"routeconv/internal/obs"
 	"routeconv/internal/routing"
 	"routeconv/internal/sim"
 )
@@ -197,6 +198,7 @@ func New(node *netsim.Node, cfg Config) *Protocol {
 			p.recompute(dst)
 			p.flushAll()
 		})
+		p.damper.node = node
 	}
 	return p
 }
@@ -373,6 +375,7 @@ func (p *Protocol) HandleMessage(from routing.NodeID, msg netsim.Message) {
 	if !ok {
 		return
 	}
+	p.node.Metrics().Inc(obs.ProtoUpdatesReceived)
 	if int(from) >= len(p.adjIn) || p.adjIn[from] == nil {
 		return // no session (e.g. message raced a link-down detection)
 	}
@@ -451,6 +454,7 @@ func (p *Protocol) recompute(dst routing.NodeID) {
 	if dst == p.node.ID() {
 		return
 	}
+	p.node.Metrics().Inc(obs.ProtoDecisionRuns)
 	chosen, chosenLen := noPath, 0
 	for _, n := range p.node.Neighbors() {
 		if !p.upTo(n) {
@@ -555,6 +559,12 @@ func (p *Protocol) flush(n routing.NodeID) {
 	if len(withdrawals) > 0 {
 		u := p.pool.get()
 		u.Withdrawn = append(u.Withdrawn, withdrawals...)
+		p.node.Metrics().Add(obs.ProtoWithdrawalsSent, uint64(len(withdrawals)))
+		if tl := p.node.Timeline(); tl != nil {
+			for _, dst := range withdrawals {
+				tl.Withdrawal(now, int(p.node.ID()), int(n), int(dst))
+			}
+		}
 		p.node.SendControl(n, u)
 		for _, dst := range withdrawals {
 			out[dst] = noPath
@@ -607,10 +617,13 @@ func (p *Protocol) advertise(n, dst routing.NodeID) {
 	if best == noPath {
 		u.Withdrawn = append(u.Withdrawn, dst)
 		p.ribOut[n][dst] = noPath
+		p.node.Metrics().Inc(obs.ProtoWithdrawalsSent)
+		p.node.Timeline().Withdrawal(p.node.Sim().Now(), int(p.node.ID()), int(n), int(dst))
 	} else {
 		u.Dst = dst
 		u.Path = p.intern.path(best)
 		p.ribOut[n][dst] = best
+		p.node.Metrics().Inc(obs.ProtoUpdatesSent)
 	}
 	p.node.SendControl(n, u)
 	p.clearPending(n, dst)

@@ -4,6 +4,8 @@ import (
 	"math"
 	"time"
 
+	"routeconv/internal/netsim"
+	"routeconv/internal/obs"
 	"routeconv/internal/routing"
 	"routeconv/internal/sim"
 )
@@ -62,6 +64,18 @@ type damper struct {
 	// reallocated by growth, so nothing long-lived may hold a *flapState —
 	// the reuse callback re-resolves its entry by (neighbor, dst).
 	state [][]flapState
+	// node, when set, routes suppression/reuse transitions to the
+	// network's convergence timeline; nil in unit tests.
+	node *netsim.Node
+}
+
+// record logs a suppression/reuse transition to the owning node's
+// convergence timeline; a no-op for node-less dampers (unit tests) and
+// uninstrumented networks.
+func (d *damper) record(kind obs.Kind, neighbor, dst routing.NodeID) {
+	if d.node != nil {
+		d.node.Timeline().RouteFlap(d.sim.Now(), kind, int(d.node.ID()), int(neighbor), int(dst))
+	}
 }
 
 func newDamper(cfg DampingConfig, s *sim.Simulator, onReuse func(neighbor, dst routing.NodeID)) *damper {
@@ -139,6 +153,7 @@ func (d *damper) charge(neighbor, dst routing.NodeID, penalty float64) bool {
 	st.updatedAt = d.sim.Now()
 	if !st.suppressed && st.penalty >= d.cfg.SuppressThreshold {
 		st.suppressed = true
+		d.record(obs.KindRouteFlap, neighbor, dst)
 		d.scheduleReuse(neighbor, dst, st)
 	} else if st.suppressed {
 		// Penalty grew: push the reuse check out.
@@ -158,6 +173,7 @@ func (d *damper) scheduleReuse(neighbor, dst routing.NodeID, st *flapState) {
 		cur := d.at(neighbor, dst)
 		cur.suppressed = false
 		cur.reuse = sim.Event{}
+		d.record(obs.KindRouteReuse, neighbor, dst)
 		d.onReuse(neighbor, dst)
 	})
 }

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"routeconv/internal/netsim"
+	"routeconv/internal/obs"
 	"routeconv/internal/routing"
 	"routeconv/internal/sim"
 )
@@ -175,6 +176,7 @@ func (p *Protocol) HandleMessage(from routing.NodeID, msg netsim.Message) {
 	if !ok {
 		return
 	}
+	p.node.Metrics().Inc(obs.ProtoUpdatesReceived)
 	p.lastHeard[from] = p.node.Sim().Now()
 	changedAny := false
 	for _, e := range u.Entries {
@@ -202,6 +204,7 @@ func (p *Protocol) recompute(dst routing.NodeID) bool {
 	if dst == p.node.ID() {
 		return false
 	}
+	p.node.Metrics().Inc(obs.ProtoDecisionRuns)
 	cur := p.entry(dst)
 	bestMetric := p.cfg.Infinity
 	bestNext := routing.NodeID(-1)
@@ -360,6 +363,7 @@ func (p *Protocol) sendTable(to routing.NodeID, changedOnly bool) {
 		entries = append(entries, routing.VectorEntry{Dst: dst, Metric: metric})
 	}
 	for _, msg := range p.cfg.PackEntries(entries) {
+		p.node.Metrics().Inc(obs.ProtoUpdatesSent)
 		p.node.SendControl(to, msg)
 	}
 }

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"routeconv/internal/netsim"
+	"routeconv/internal/obs"
 	"routeconv/internal/routing"
 )
 
@@ -259,6 +260,7 @@ func (p *Protocol) flood(lsa LSA, except routing.NodeID) {
 		}
 		f := p.pool.get()
 		f.LSA = lsa
+		p.node.Metrics().Inc(obs.ProtoFloodsSent)
 		p.node.SendControl(n, f)
 	}
 }
@@ -269,6 +271,7 @@ func (p *Protocol) HandleMessage(from routing.NodeID, msg netsim.Message) {
 	if !ok {
 		return
 	}
+	p.node.Metrics().Inc(obs.ProtoFloodsReceived)
 	origin := f.LSA.Origin
 	p.ensureOrigin(origin)
 	if p.have[origin] && p.db[origin].Seq >= f.LSA.Seq {
@@ -296,6 +299,7 @@ func (p *Protocol) LinkUp(neighbor routing.NodeID) {
 		}
 		f := p.pool.get()
 		f.LSA = p.db[o]
+		p.node.Metrics().Inc(obs.ProtoFloodsSent)
 		p.node.SendControl(neighbor, f)
 	}
 	p.originate()
@@ -305,6 +309,7 @@ func (p *Protocol) LinkUp(neighbor routing.NodeID) {
 // installs next hops. An edge is used only when both endpoints advertise
 // it (the two-way check). All work happens in the persistent scratch.
 func (p *Protocol) recompute() {
+	p.node.Metrics().Inc(obs.ProtoDecisionRuns)
 	self := p.node.ID()
 	n := len(p.db)
 	s := &p.spf

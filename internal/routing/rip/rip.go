@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"routeconv/internal/netsim"
+	"routeconv/internal/obs"
 	"routeconv/internal/routing"
 	"routeconv/internal/sim"
 )
@@ -116,9 +117,12 @@ func (p *Protocol) HandleMessage(from routing.NodeID, msg netsim.Message) {
 	if !ok {
 		return // not a RIP message; ignore
 	}
+	met := p.node.Metrics()
+	met.Inc(obs.ProtoUpdatesReceived)
 	now := p.node.Sim().Now()
 	changedAny := false
 	for _, e := range u.Entries {
+		met.Inc(obs.ProtoDecisionRuns)
 		if p.processEntry(from, e, now) {
 			changedAny = true
 		}
@@ -281,6 +285,7 @@ func (p *Protocol) sendTable(to routing.NodeID, changedOnly bool) {
 		entries = append(entries, routing.VectorEntry{Dst: dst, Metric: metric})
 	}
 	for _, msg := range p.cfg.PackEntries(entries) {
+		p.node.Metrics().Inc(obs.ProtoUpdatesSent)
 		p.node.SendControl(to, msg)
 	}
 }

@@ -1,0 +1,44 @@
+package sweep_test
+
+import (
+	"fmt"
+
+	"routeconv/internal/sweep"
+)
+
+// ExampleSpec_Expand shows how a declarative spec expands into its work
+// plan: one cell per point of the Protocols × Degrees × Failures grid, in
+// deterministic protocol-major order.
+func ExampleSpec_Expand() {
+	spec := sweep.Spec{
+		Protocols: []string{"dbf", "bgp3"},
+		Degrees:   []int{4, 5},
+		Trials:    2,
+	}
+	cells, err := spec.Expand()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, c := range cells {
+		fmt.Println(c.ID())
+	}
+	// Output:
+	// dbf/d4/single
+	// dbf/d5/single
+	// bgp3/d4/single
+	// bgp3/d5/single
+}
+
+// ExampleParseDegrees shows the accepted degree-list syntax: ranges,
+// single values, and mixes of both.
+func ExampleParseDegrees() {
+	degrees, err := sweep.ParseDegrees("3-5,8")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(degrees)
+	// Output:
+	// [3 4 5 8]
+}

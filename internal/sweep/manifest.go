@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"runtime"
 	"time"
+
+	"routeconv/internal/obs"
 )
 
 // Manifest is the machine-readable record of one sweep run: what was asked
@@ -34,6 +36,10 @@ type ManifestCell struct {
 	Trials   int    `json:"trials"`
 	WallMS   int64  `json:"wall_ms"`
 	Cached   bool   `json:"cached"`
+	// Metrics holds the cell's obs counters summed over its trials;
+	// present only when the spec enables metrics. Every name is documented
+	// in OBSERVABILITY.md.
+	Metrics obs.Snapshot `json:"metrics,omitempty"`
 }
 
 // buildManifest assembles the manifest for a finished sweep.
@@ -51,6 +57,10 @@ func buildManifest(spec Spec, out *Outcome) *Manifest {
 	}
 	for i := range out.Cells {
 		c := &out.Cells[i]
+		var met obs.Snapshot
+		if c.Result != nil {
+			met = c.Result.Metrics
+		}
 		m.Cells = append(m.Cells, ManifestCell{
 			ID:       c.Cell.ID(),
 			Key:      c.Cell.Key,
@@ -61,6 +71,7 @@ func buildManifest(spec Spec, out *Outcome) *Manifest {
 			Trials:   c.Cell.Config.Trials,
 			WallMS:   c.Wall.Milliseconds(),
 			Cached:   c.Cached,
+			Metrics:  met,
 		})
 	}
 	return m

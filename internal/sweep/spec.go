@@ -104,6 +104,10 @@ type Spec struct {
 	// End shortens or extends the simulation horizon (default: the
 	// paper's 800 s).
 	End Duration `json:"end,omitempty"`
+	// Metrics enables the obs counter layer per cell: every trial carries
+	// an obs snapshot, the summed counters land in each manifest cell, and
+	// cache keys change (metered and unmetered results are distinct).
+	Metrics bool `json:"metrics,omitempty"`
 	// Base, when non-nil, replaces core.DefaultConfig() as the per-cell
 	// template (Go callers only; its Protocol, Degree, Trials, Seed and
 	// failure fields are overwritten by the grid).
@@ -164,6 +168,9 @@ func (s *Spec) base() core.Config {
 	}
 	if s.End > 0 {
 		cfg.End = time.Duration(s.End)
+	}
+	if s.Metrics {
+		cfg.Metrics = true
 	}
 	return cfg
 }

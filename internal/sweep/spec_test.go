@@ -92,7 +92,7 @@ func TestCellKeysGolden(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	const want = "e350df9ac395f835c64a13b9aa364c4e9315af113ac37962dcbd0f50cb9cc528"
+	const want = "4104b5770c3bc9a56aabb8362f97745f07f2217dc1d4dc1ccc0415111e192b77"
 	if key != want {
 		t.Errorf("golden dbf key changed:\n got %s\nwant %s\n(an intentional Config or encoding change must update this golden)", key, want)
 	}
@@ -101,7 +101,7 @@ func TestCellKeysGolden(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	const wantRIP = "6a09bdae1f5c1c3cde7f4d8ce47f7be39887a8f9f24041808dfd238dd7d77148"
+	const wantRIP = "ff0f880443274e76d4229bbf20f687b318bbea77556f32ea4fe62ea70a521215"
 	if key2 != wantRIP {
 		t.Errorf("golden rip key changed:\n got %s\nwant %s", key2, wantRIP)
 	}

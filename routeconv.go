@@ -31,6 +31,7 @@ import (
 
 	"routeconv/internal/core"
 	"routeconv/internal/netsim"
+	"routeconv/internal/obs"
 	"routeconv/internal/routing"
 	"routeconv/internal/routing/bgp"
 	"routeconv/internal/routing/ls"
@@ -191,3 +192,28 @@ func RunSweep(sc SweepConfig, progress func(string)) (*SweepResult, error) {
 // DefaultSweep returns the paper's full evaluation grid (all four
 // protocols, degrees 3–16) at the given trial count per cell.
 func DefaultSweep(trials int) SweepConfig { return core.DefaultSweep(trials) }
+
+// MetricsSnapshot is a flat metric-name → value map of the observability
+// counters one trial accumulated (set Config.Metrics to collect it; see
+// TrialResult.Metrics and Result.Metrics). Every name is documented in
+// OBSERVABILITY.md.
+type MetricsSnapshot = obs.Snapshot
+
+// Timeline records one trial's convergence timeline — link failures, FIB
+// changes, withdrawals, flap-damping transitions, and derived per-node
+// first/last-change summaries — for NDJSON export. The record schema is
+// documented in OBSERVABILITY.md.
+type Timeline = obs.Timeline
+
+// NewTimeline returns an empty convergence timeline ready to pass to
+// TraceTimeline.
+func NewTimeline() *Timeline { return obs.NewTimeline() }
+
+// TraceTimeline re-runs one trial of the experiment with the timeline
+// attached (when tl is non-nil). Recording is passive: the trial result is
+// bit-for-bit the one Run computed for the same configuration and trial
+// index.
+func TraceTimeline(cfg Config, trial int, tl *Timeline) (TrialResult, error) {
+	tr, _, err := core.TraceObserved(cfg, trial, tl)
+	return tr, err
+}
