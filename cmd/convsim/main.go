@@ -5,7 +5,8 @@
 // Usage:
 //
 //	convsim [-protocol dbf] [-degree 4] [-rows 7] [-cols 7] [-trials 10]
-//	        [-seed 1] [-flows 1] [-rate 20] [-timeline out.ndjson]
+//	        [-topo ba:n=10000,m=2] [-senderstart 390s] [-failat 400s]
+//	        [-end 800s] [-seed 1] [-flows 1] [-rate 20] [-timeline out.ndjson]
 //
 // With -timeline, trial 0 is replayed with the convergence timeline
 // attached and the records are written as NDJSON (schema: OBSERVABILITY.md).
@@ -33,11 +34,15 @@ func run(args []string) error {
 	ef := core.ExperimentFlags{MeshFlags: core.DefaultMeshFlags(), Protocol: "dbf", Seed: 1}
 	ef.Register(fs)
 	var (
-		trials   = fs.Int("trials", 10, "independent trials")
-		flows    = fs.Int("flows", 1, "concurrent sender/receiver pairs")
-		rate     = fs.Int("rate", 20, "packets per second per flow")
-		detail   = fs.Bool("detail", false, "print per-trial detail")
-		timeline = fs.String("timeline", "", "write trial 0's convergence timeline to this NDJSON file")
+		trials      = fs.Int("trials", 10, "independent trials")
+		flows       = fs.Int("flows", 1, "concurrent sender/receiver pairs")
+		rate        = fs.Int("rate", 20, "packets per second per flow")
+		senderStart = fs.Duration("senderstart", 0, "override when the probe flow starts (default: paper's 390s)")
+		failAt      = fs.Duration("failat", 0, "override the failure time (default: paper's 400s)")
+		end         = fs.Duration("end", 0, "override the simulation horizon (default: paper's 800s)")
+		ecmp        = fs.Bool("ecmp", false, "install equal-cost multipath sets (dbf and ls)")
+		detail      = fs.Bool("detail", false, "print per-trial detail")
+		timeline    = fs.String("timeline", "", "write trial 0's convergence timeline to this NDJSON file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -49,14 +54,32 @@ func run(args []string) error {
 	cfg.Trials = *trials
 	cfg.Flows = *flows
 	cfg.PacketInterval = time.Second / time.Duration(*rate)
+	if *senderStart > 0 {
+		cfg.SenderStart = *senderStart
+	}
+	if *failAt > 0 {
+		cfg.FailAt = *failAt
+	}
+	if *end > 0 {
+		cfg.End = *end
+	}
+	if *ecmp {
+		cfg.Vector.ECMP = true
+		cfg.LS.ECMP = true
+	}
 
 	res, err := routeconv.Run(cfg)
 	if err != nil {
 		return err
 	}
 
-	fmt.Printf("protocol=%s degree=%d mesh=%dx%d trials=%d flows=%d rate=%d pps\n",
-		cfg.Protocol, ef.Degree, ef.Rows, ef.Cols, *trials, *flows, *rate)
+	if cfg.Topo != "" {
+		fmt.Printf("protocol=%s topo=%s trials=%d flows=%d rate=%d pps\n",
+			cfg.Protocol, cfg.Topo, *trials, *flows, *rate)
+	} else {
+		fmt.Printf("protocol=%s degree=%d mesh=%dx%d trials=%d flows=%d rate=%d pps\n",
+			cfg.Protocol, ef.Degree, ef.Rows, ef.Cols, *trials, *flows, *rate)
+	}
 	fmt.Printf("failure at %v on the flow's forwarding path; run ends at %v\n\n", cfg.FailAt, cfg.End)
 	fmt.Printf("warmed-up trials:            %d/%d\n", res.WarmedUpTrials, *trials)
 	fmt.Printf("mean drops (no route):       %.1f\n", res.MeanNoRouteDrops)

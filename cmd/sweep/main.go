@@ -9,9 +9,9 @@
 // Usage:
 //
 //	sweep [-spec spec.json] [-protocols rip,dbf,bgp,bgp3] [-degrees 3-10]
-//	      [-trials N] [-seed S] [-metrics] [-out DIR] [-cache DIR]
-//	      [-workers N] [-force] [-plan] [-q] [-cpuprofile FILE]
-//	      [-memprofile FILE]
+//	      [-topos "ba:n=10000,m=2;fattree:k=8"] [-trials N] [-seed S]
+//	      [-metrics] [-out DIR] [-cache DIR] [-workers N] [-force] [-plan]
+//	      [-q] [-cpuprofile FILE] [-memprofile FILE]
 //
 // Outputs, written atomically under -out: summary.{txt,csv} (the per-cell
 // headline metrics) and manifest.json (spec, module version, per-cell keys,
@@ -48,7 +48,8 @@ func run(ctx context.Context, args []string) error {
 	var (
 		specPath      = fs.String("spec", "", "JSON sweep specification (overrides the grid flags)")
 		protocolsFlag = fs.String("protocols", "rip,dbf,bgp,bgp3", "comma-separated protocols")
-		degreesFlag   = fs.String("degrees", "3-10", "node degrees, e.g. 3-16 or 3,4,5,6")
+		degreesFlag   = fs.String("degrees", "3-10", "node degrees, e.g. 3-16 or 3,4,5,6 (\"\" with -topos for a topo-only sweep)")
+		toposFlag     = fs.String("topos", "", "semicolon-separated topology specs, e.g. ba:n=10000,m=2;fattree:k=8")
 		trials        = fs.Int("trials", 20, "trials per cell (paper: 100)")
 		seed          = fs.Int64("seed", 1, "base random seed")
 		outDir        = fs.String("out", filepath.Join("results", "sweep"), "output directory (summary, manifest, journal)")
@@ -99,13 +100,26 @@ func run(ctx context.Context, args []string) error {
 		}
 		spec = s
 	} else {
-		degrees, err := sweep.ParseDegrees(*degreesFlag)
-		if err != nil {
-			return err
+		var degrees []int
+		if *degreesFlag != "" {
+			d, err := sweep.ParseDegrees(*degreesFlag)
+			if err != nil {
+				return err
+			}
+			degrees = d
+		}
+		var topos []string
+		if *toposFlag != "" {
+			for _, t := range strings.Split(*toposFlag, ";") {
+				if t = strings.TrimSpace(t); t != "" {
+					topos = append(topos, t)
+				}
+			}
 		}
 		spec = sweep.Spec{
 			Protocols: strings.Split(*protocolsFlag, ","),
 			Degrees:   degrees,
+			Topos:     topos,
 			Trials:    *trials,
 			Seed:      *seed,
 		}

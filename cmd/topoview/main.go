@@ -1,10 +1,14 @@
-// Command topoview inspects the Baran-style regular mesh topologies of the
-// study: node/edge counts, degree histogram, diameter, and an adjacency
-// dump — the data behind the paper's Figure 2.
+// Command topoview inspects topologies: the Baran-style regular meshes of
+// the study (node/edge counts, degree histogram, diameter, adjacency — the
+// data behind the paper's Figure 2) and, via -topo, any generated or
+// imported graph (power-law AS graphs, fat-tree/Clos fabrics, edge-list
+// files). Large graphs get sampled diameter and path-length estimates so a
+// 100k-node AS graph summarizes in milliseconds.
 //
 // Usage:
 //
 //	topoview [-rows 7] [-cols 7] [-degree 4] [-edges] [-sweep]
+//	topoview -topo ba:n=100000,m=2 [-samples 16] [-export as.edges]
 package main
 
 import (
@@ -15,7 +19,12 @@ import (
 
 	"routeconv/internal/core"
 	"routeconv/internal/topology"
+	"routeconv/internal/topology/topoio"
 )
+
+// exactThreshold is the node count above which diameter and average path
+// length switch from exact all-pairs BFS to sampled estimates.
+const exactThreshold = 2000
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -29,13 +38,18 @@ func run(args []string) error {
 	mf := core.DefaultMeshFlags()
 	mf.Register(fs)
 	var (
-		showEdges = fs.Bool("edges", false, "dump the edge list")
-		sweep     = fs.Bool("sweep", false, "print one summary line per degree 3-16")
+		showEdges  = fs.Bool("edges", false, "dump the edge list")
+		sweepFlag  = fs.Bool("sweep", false, "print one summary line per degree 3-16")
+		samples    = fs.Int("samples", 8, "BFS sources for sampled diameter/path estimates on large graphs")
+		exportPath = fs.String("export", "", "write the graph as an edge-list file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *sweep {
+	if mf.Topo != "" {
+		return showTopo(mf.Topo, *samples, *showEdges, *exportPath)
+	}
+	if *sweepFlag {
 		fmt.Printf("%6s  %6s  %6s  %9s  %8s\n", "degree", "nodes", "edges", "diameter", "avgpath")
 		for d := 3; d <= topology.MaxMeshDegree && d <= 16; d++ {
 			m, err := topology.NewMesh(mf.Rows, mf.Cols, d)
@@ -51,20 +65,17 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	if *exportPath != "" {
+		if err := topoio.WriteFile(*exportPath, m.Graph); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *exportPath)
+	}
 	fmt.Printf("mesh %dx%d, target degree %d\n", mf.Rows, mf.Cols, mf.Degree)
 	fmt.Printf("nodes: %d  edges: %d  connected: %v  diameter: %d  avg shortest path: %.2f\n",
 		m.Len(), m.NumEdges(), m.Connected(), m.Diameter(), avgPathLength(m.Graph))
 
-	hist := m.DegreeHistogram()
-	degrees := make([]int, 0, len(hist))
-	for d := range hist {
-		degrees = append(degrees, d)
-	}
-	sort.Ints(degrees)
-	fmt.Println("degree histogram (border nodes have fewer links):")
-	for _, d := range degrees {
-		fmt.Printf("  degree %2d: %d nodes\n", d, hist[d])
-	}
+	printHistogram(m.Graph)
 
 	if *showEdges {
 		fmt.Println("edges:")
@@ -75,6 +86,95 @@ func run(args []string) error {
 		}
 	}
 	return nil
+}
+
+// showTopo summarizes a -topo spec graph: counts, connectivity, diameter
+// and path length (exact below exactThreshold nodes, sampled above),
+// degree distribution, and the default sender/receiver attach points.
+func showTopo(spec string, samples int, showEdges bool, exportPath string) error {
+	sp, err := topoio.ParseSpec(spec)
+	if err != nil {
+		return err
+	}
+	built, err := sp.Build()
+	if err != nil {
+		return err
+	}
+	g := built.Graph
+	if exportPath != "" {
+		if err := topoio.WriteFile(exportPath, g); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", exportPath)
+	}
+	csr := topology.NewCSR(g)
+	fmt.Printf("topo %s\n", spec)
+	if g.Len() <= exactThreshold {
+		fmt.Printf("nodes: %d  edges: %d  connected: %v  diameter: %d  avg shortest path: %.2f\n",
+			g.Len(), g.NumEdges(), csr.Connected(), g.Diameter(), avgPathLength(g))
+	} else {
+		fmt.Printf("nodes: %d  edges: %d  connected: %v  diameter: >=%d (double-sweep, %d samples)  avg shortest path: ~%.2f (sampled)\n",
+			g.Len(), g.NumEdges(), csr.Connected(),
+			csr.EstimateDiameter(samples, 1), samples,
+			csr.AvgPathLengthSampled(samples, 1))
+	}
+	printHistogram(g)
+	fmt.Printf("default attach: %d min-degree nodes (senders=receivers), e.g. %v\n",
+		len(built.Senders), head(built.Senders, 8))
+
+	if showEdges {
+		fmt.Println("edges:")
+		for _, e := range g.Edges() {
+			fmt.Printf("  %d - %d\n", e.A, e.B)
+		}
+	}
+	return nil
+}
+
+// printHistogram prints the degree distribution: the exact histogram when
+// there are few distinct degrees (meshes, fabrics), or summary statistics
+// plus the extreme rows for heavy-tailed graphs.
+func printHistogram(g *topology.Graph) {
+	hist := g.DegreeHistogram()
+	degrees := make([]int, 0, len(hist))
+	for d := range hist {
+		degrees = append(degrees, d)
+	}
+	sort.Ints(degrees)
+	if len(degrees) <= 12 {
+		fmt.Println("degree histogram:")
+		for _, d := range degrees {
+			fmt.Printf("  degree %2d: %d nodes\n", d, hist[d])
+		}
+		return
+	}
+	// Heavy-tailed: quantiles plus the head and tail of the distribution.
+	counts := g.DegreeCounts(nil)
+	sorted := append([]int(nil), counts...)
+	sort.Ints(sorted)
+	total := 0
+	for _, d := range sorted {
+		total += d
+	}
+	n := len(sorted)
+	fmt.Printf("degree distribution (%d distinct degrees): min %d  p50 %d  mean %.2f  p90 %d  p99 %d  max %d\n",
+		len(degrees), sorted[0], sorted[n/2], float64(total)/float64(n),
+		sorted[n*9/10], sorted[n*99/100], sorted[n-1])
+	for _, d := range degrees[:3] {
+		fmt.Printf("  degree %6d: %d nodes\n", d, hist[d])
+	}
+	fmt.Printf("  ...\n")
+	for _, d := range degrees[len(degrees)-3:] {
+		fmt.Printf("  degree %6d: %d nodes\n", d, hist[d])
+	}
+}
+
+// head returns up to k elements of s for display.
+func head(s []topology.NodeID, k int) []topology.NodeID {
+	if len(s) > k {
+		return s[:k]
+	}
+	return s
 }
 
 // avgPathLength returns the mean shortest-path length over all node pairs.

@@ -24,11 +24,19 @@ const canonVersion = "core.Config/v1"
 // Configurations with a Factory override cannot be canonicalized — a
 // function pointer has no stable content — and return an error; such
 // experiments are simply uncacheable.
+//
+// A Topo spec is resolved (on a copy) before encoding, so a config carrying
+// "ba:n=100,m=2" and one carrying the identical pre-built graph
+// canonicalize — and therefore cache — the same.
 func (c *Config) CanonicalString() (string, error) {
+	r := *c
+	if err := r.ResolveTopology(); err != nil {
+		return "", fmt.Errorf("core: canonicalize config: %w", err)
+	}
 	var sb strings.Builder
 	sb.WriteString(canonVersion)
 	sb.WriteByte(';')
-	if err := writeCanonical(&sb, reflect.ValueOf(*c)); err != nil {
+	if err := writeCanonical(&sb, reflect.ValueOf(r)); err != nil {
 		return "", fmt.Errorf("core: canonicalize config: %w", err)
 	}
 	return sb.String(), nil

@@ -2,22 +2,28 @@ package core
 
 import "flag"
 
-// MeshFlags bundles the mesh-geometry command-line flags shared by the
-// repo's CLIs (convsim, tracer, topoview). Set the fields to the desired
-// defaults, then call Register before parsing.
+// MeshFlags bundles the topology command-line flags shared by the repo's
+// CLIs (convsim, tracer, topoview): the mesh geometry plus the -topo spec
+// that overrides it. Set the fields to the desired defaults, then call
+// Register before parsing.
 type MeshFlags struct {
 	Rows, Cols, Degree int
+	// Topo is a topology spec string ("ba:n=10000,m=2", "file:as.edges",
+	// ...); when non-empty it replaces the mesh geometry entirely.
+	Topo string
 }
 
 // DefaultMeshFlags returns the paper's mesh geometry (7×7, degree 4).
 func DefaultMeshFlags() MeshFlags { return MeshFlags{Rows: 7, Cols: 7, Degree: 4} }
 
-// Register declares -rows, -cols and -degree on fs, using the current
-// field values as defaults.
+// Register declares -rows, -cols, -degree and -topo on fs, using the
+// current field values as defaults.
 func (m *MeshFlags) Register(fs *flag.FlagSet) {
 	fs.IntVar(&m.Rows, "rows", m.Rows, "mesh rows")
 	fs.IntVar(&m.Cols, "cols", m.Cols, "mesh columns")
 	fs.IntVar(&m.Degree, "degree", m.Degree, "target interior node degree (3-16)")
+	fs.StringVar(&m.Topo, "topo", m.Topo,
+		"topology spec overriding the mesh, e.g. ba:n=10000,m=2 | fattree:k=8 | file:as.edges")
 }
 
 // ExperimentFlags bundles the experiment-selection flags shared by convsim
@@ -46,6 +52,7 @@ func (e *ExperimentFlags) Config() (Config, error) {
 	cfg := DefaultConfig()
 	cfg.Protocol = proto
 	cfg.Rows, cfg.Cols, cfg.Degree = e.Rows, e.Cols, e.Degree
+	cfg.Topo = e.Topo
 	cfg.Seed = e.Seed
 	return cfg, nil
 }

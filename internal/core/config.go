@@ -16,6 +16,7 @@ import (
 	"routeconv/internal/routing/ls"
 	"routeconv/internal/routing/rip"
 	"routeconv/internal/topology"
+	"routeconv/internal/topology/topoio"
 )
 
 // TrafficPattern selects the flow's packet arrival process.
@@ -110,6 +111,15 @@ type Config struct {
 	// Rows, Cols, Degree describe the mesh (§5: 7×7, interior degree
 	// 3–16).
 	Rows, Cols, Degree int
+	// Topo, when non-empty, selects the topology by spec string — a
+	// generator family with parameters ("ba:n=10000,m=2", "fattree:k=8")
+	// or an edge-list file ("file:as.edges"); see topoio.ParseSpec for the
+	// full grammar. ResolveTopology expands it into Topology plus default
+	// SenderRouters/ReceiverRouters (explicitly set lists win), so the
+	// canonical config — and thus sweep cache keys — depends only on the
+	// resulting graph, never on the spec text. Mutually exclusive with a
+	// non-nil Topology.
+	Topo string
 	// Topology, when non-nil, replaces the mesh entirely: the experiment
 	// runs on this graph (e.g. a torus, hypercube, or small-world network)
 	// and Rows/Cols/Degree are ignored. SenderRouters and ReceiverRouters
@@ -205,14 +215,55 @@ func DefaultConfig() Config {
 	}
 }
 
+// ResolveTopology expands a Topo spec string into the Topology graph plus
+// its default SenderRouters/ReceiverRouters (fields that are already set
+// are kept), then clears Topo: the resolved config — and everything
+// derived from it, canonical hash included — depends only on the resulting
+// graph. It is a no-op when Topo is empty, and an error when both Topo and
+// Topology are set.
+func (c *Config) ResolveTopology() error {
+	if c.Topo == "" {
+		return nil
+	}
+	if c.Topology != nil {
+		return fmt.Errorf("core: Topo %q and Topology are mutually exclusive", c.Topo)
+	}
+	spec, err := topoio.ParseSpec(c.Topo)
+	if err != nil {
+		return err
+	}
+	built, err := spec.Build()
+	if err != nil {
+		return err
+	}
+	c.Topology = built.Graph
+	if len(c.SenderRouters) == 0 {
+		c.SenderRouters = built.Senders
+	}
+	if len(c.ReceiverRouters) == 0 {
+		c.ReceiverRouters = built.Receivers
+	}
+	c.Topo = ""
+	return nil
+}
+
 // Validate reports the first problem with the configuration, or nil.
 func (c *Config) Validate() error {
+	if c.Topo != "" {
+		if c.Topology != nil {
+			return fmt.Errorf("core: Topo %q and Topology are mutually exclusive", c.Topo)
+		}
+		// Cheap spec check; graph-level checks run after ResolveTopology.
+		if _, err := topoio.ParseSpec(c.Topo); err != nil {
+			return err
+		}
+	}
 	switch {
 	case c.Trials < 1:
 		return fmt.Errorf("core: Trials = %d, need ≥ 1", c.Trials)
 	case c.Flows < 1:
 		return fmt.Errorf("core: Flows = %d, need ≥ 1", c.Flows)
-	case c.Topology == nil && (c.Rows < 2 || c.Cols < 2):
+	case c.Topology == nil && c.Topo == "" && (c.Rows < 2 || c.Cols < 2):
 		return fmt.Errorf("core: mesh %d×%d too small", c.Rows, c.Cols)
 	case c.SenderStart > c.FailAt:
 		return fmt.Errorf("core: SenderStart %v after FailAt %v", c.SenderStart, c.FailAt)

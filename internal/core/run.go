@@ -104,6 +104,11 @@ func Run(cfg Config) (*Result, error) {
 // a cancelled experiment stops promptly instead of finishing its whole trial
 // batch. It returns ctx.Err() when cancelled.
 func RunContext(ctx context.Context, cfg Config) (*Result, error) {
+	// Resolve any Topo spec once, up front: the workers share cfg, and each
+	// trial then only clones the already-built graph.
+	if err := cfg.ResolveTopology(); err != nil {
+		return nil, err
+	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -126,7 +131,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 				if ctx.Err() != nil {
 					continue // drain; the error is reported once below
 				}
-				tr, _, err := runTrial(&cfg, i, nil)
+				tr, _, err := runTrial(&cfg, i, nil, true)
 				if err != nil {
 					mu.Lock()
 					if firstErr == nil {
@@ -190,18 +195,23 @@ func Trace(cfg Config, trial int) (TrialResult, *trace.Collector, error) {
 // runs against the configured failure time). Recording is passive — the
 // trial's results are bit-for-bit those of Trace.
 func TraceObserved(cfg Config, trial int, tl *obs.Timeline) (TrialResult, *trace.Collector, error) {
+	if err := cfg.ResolveTopology(); err != nil {
+		return TrialResult{}, nil, err
+	}
 	if err := cfg.Validate(); err != nil {
 		return TrialResult{}, nil, err
 	}
 	if trial < 0 || trial >= cfg.Trials {
 		return TrialResult{}, nil, fmt.Errorf("core: trial %d out of range [0, %d)", trial, cfg.Trials)
 	}
-	return runTrial(&cfg, trial, tl)
+	return runTrial(&cfg, trial, tl, false)
 }
 
 // runTrial builds and runs one simulation. tl, when non-nil, receives the
-// trial's convergence timeline.
-func runTrial(cfg *Config, trial int, tl *obs.Timeline) (TrialResult, *trace.Collector, error) {
+// trial's convergence timeline. compact makes the collectors drop
+// individual route-change records (bulk runs never read them; on large
+// graphs they are the dominant memory cost).
+func runTrial(cfg *Config, trial int, tl *obs.Timeline, compact bool) (TrialResult, *trace.Collector, error) {
 	factory, err := cfg.factory()
 	if err != nil {
 		return TrialResult{}, nil, err
@@ -244,6 +254,7 @@ func runTrial(cfg *Config, trial int, tl *obs.Timeline) (TrialResult, *trace.Col
 		g.AddEdge(f.srcHost, f.srcRouter)
 		g.AddEdge(f.dstHost, f.dstRouter)
 		f.collector = trace.NewCollector(f.srcHost, f.dstHost)
+		f.collector.SetCompact(compact)
 		observers = append(observers, f.collector)
 		flows[i] = f
 	}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"os"
+	"runtime/debug"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// TestScaleSmoke10kBA is the internet-scale smoke: one full convergence
+// trial — warm-up, probe flow, on-path link failure, measurement — on a
+// 10,000-node power-law graph, under a wall-clock budget. It is gated
+// behind SCALE_SMOKE=1 (CI runs it in a dedicated job) so the ordinary
+// test run stays fast. Override the budget with SCALE_SMOKE_BUDGET_SECONDS.
+//
+// The configuration scales the paper's §5 parameters to 10k nodes rather
+// than copying them: periodic full-table floods are pushed past the
+// horizon (a 10k-node full table is ~667 packets per link — triggered
+// updates carry convergence), triggered-update damping is tightened so
+// convergence completes within the short horizon, and MaxEntries is raised
+// so a full table is hundreds rather than thousands of packets.
+func TestScaleSmoke10kBA(t *testing.T) {
+	if os.Getenv("SCALE_SMOKE") != "1" {
+		t.Skip("set SCALE_SMOKE=1 to run the 10k-node smoke")
+	}
+	budget := 60 * time.Second
+	if s := os.Getenv("SCALE_SMOKE_BUDGET_SECONDS"); s != "" {
+		secs, err := strconv.Atoi(s)
+		if err != nil {
+			t.Fatalf("bad SCALE_SMOKE_BUDGET_SECONDS %q", s)
+		}
+		budget = time.Duration(secs) * time.Second
+	}
+
+	cfg := DefaultConfig()
+	cfg.Protocol = ProtoRIP
+	cfg.Topo = "ba:n=10000,m=2,seed=1"
+	cfg.Trials = 1
+	cfg.SenderStart = 12 * time.Second
+	cfg.FailAt = 15 * time.Second
+	cfg.End = 25 * time.Second
+	cfg.Vector.PeriodicInterval = 600 * time.Second // beyond the horizon
+	cfg.Vector.PeriodicJitter = time.Second
+	cfg.Vector.DampMin = 500 * time.Millisecond
+	cfg.Vector.DampMax = time.Second
+	cfg.Vector.MaxEntries = 5000
+	cfg.Vector.Infinity = 24 // BA diameter ~10; default 16 is too tight a margin, 64 drags out count-to-infinity
+
+	// The trial allocates update bursts at a high rate but retains little;
+	// default GC pacing would run thousands of cycles over the trial.
+	defer debug.SetGCPercent(debug.SetGCPercent(400))
+
+	start := time.Now()
+	res, err := Run(cfg)
+	wall := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("10k-node BA RIP trial: wall=%.2fs warmed=%d delivery=%.4f fwdconv=%.2fs drops(noroute=%.0f ttl=%.0f link=%.0f)",
+		wall.Seconds(), res.WarmedUpTrials, res.DeliveryRatio,
+		res.MeanFwdConv, res.MeanNoRouteDrops, res.MeanTTLDrops, res.MeanLinkDrops)
+	if res.WarmedUpTrials != 1 {
+		t.Errorf("trial did not warm up: %d/1", res.WarmedUpTrials)
+	}
+	if res.DeliveryRatio <= 0 {
+		t.Errorf("delivery ratio = %v, want > 0", res.DeliveryRatio)
+	}
+	if wall > budget {
+		t.Errorf("trial took %.1fs, over the %.0fs budget — a scale regression", wall.Seconds(), budget.Seconds())
+	}
+}

@@ -109,13 +109,30 @@ func New(s *sim.Simulator, cfg Config, o Observer) *Network {
 }
 
 // FromGraph returns a network with one node per graph node and one link per
-// graph edge.
+// graph edge. Node port tables, neighbor lists, and the link map are
+// presized from the graph's degrees, so building a 100k-node network does
+// not pay for repeated regrowth.
 func FromGraph(s *sim.Simulator, g *topology.Graph, cfg Config, o Observer) *Network {
 	n := New(s, cfg, o)
+	edges := g.Edges()
+	n.nodes = make([]*Node, 0, g.Len())
+	n.links = make(map[topology.Edge]*Link, len(edges))
 	for i := 0; i < g.Len(); i++ {
-		n.AddNode()
+		node := n.AddNode()
+		nbrs := g.Neighbors(topology.NodeID(i))
+		if len(nbrs) == 0 {
+			continue
+		}
+		maxNbr := nbrs[0]
+		for _, v := range nbrs[1:] {
+			if v > maxNbr {
+				maxNbr = v
+			}
+		}
+		node.ports = make([]*port, int(maxNbr)+1)
+		node.neighbors = make([]NodeID, 0, len(nbrs))
 	}
-	for _, e := range g.Edges() {
+	for _, e := range edges {
 		n.Connect(e.A, e.B)
 	}
 	return n

@@ -81,10 +81,15 @@ func (nd *Node) portTo(id NodeID) *port {
 	return nil
 }
 
-// setPort installs the output port toward a new neighbor.
+// setPort installs the output port toward a new neighbor, doubling the
+// table so repeated growth stays amortized.
 func (nd *Node) setPort(id NodeID, p *port) {
 	if int(id) >= len(nd.ports) {
-		grown := make([]*port, id+1)
+		n := int(id) + 1
+		if n < 2*len(nd.ports) {
+			n = 2 * len(nd.ports)
+		}
+		grown := make([]*port, n)
 		copy(grown, nd.ports)
 		nd.ports = grown
 	}
@@ -100,10 +105,20 @@ func (nd *Node) fibGet(dst NodeID) NodeID {
 }
 
 // fibSet writes the FIB entry for dst, growing the table on first sight of
-// a high destination ID.
+// a high destination ID. The first route on any node sizes the FIB to the
+// whole network (every destination gets an entry eventually), and growth
+// past that doubles, so convergence on a large graph never pays a
+// per-destination grow-and-copy.
 func (nd *Node) fibSet(dst, nextHop NodeID) {
 	if int(dst) >= len(nd.fib) {
-		grown := make([]NodeID, dst+1)
+		n := int(dst) + 1
+		if n < 2*len(nd.fib) {
+			n = 2 * len(nd.fib)
+		}
+		if full := len(nd.net.nodes); n < full {
+			n = full
+		}
+		grown := make([]NodeID, n)
 		copy(grown, nd.fib)
 		for i := len(nd.fib); i < len(grown); i++ {
 			grown[i] = noRoute

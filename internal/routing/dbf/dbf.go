@@ -44,12 +44,23 @@ type Protocol struct {
 	table []best
 	// known records every destination ever present in the table or a
 	// neighbor cache. It is monotone: entries are never unlearned, which is
-	// behaviour-neutral because recompute and sendTable both no-op for a
-	// destination with no table entry and no cached vector.
+	// behaviour-neutral because recompute and the update collector both
+	// no-op for a destination with no table entry and no cached vector.
 	known []bool
 	up    map[routing.NodeID]bool
 	adv   *routing.Advertiser
 	hk    *sim.Timer
+	// pend stages the routes of one update burst, collected once so the
+	// per-neighbor pass walks a compact list instead of re-scanning the
+	// table per neighbor.
+	pend []pending
+}
+
+// pending is one route staged for advertisement.
+type pending struct {
+	dst     routing.NodeID
+	nextHop routing.NodeID
+	metric  int32
 }
 
 var _ netsim.Protocol = (*Protocol)(nil)
@@ -91,10 +102,16 @@ func (p *Protocol) entry(dst routing.NodeID) *best {
 }
 
 // insert claims the table slot for dst, growing on demand, and returns it
-// zeroed with valid set.
+// zeroed with valid set. Start presizes the table to the network, so growth
+// here only triggers for unit tests that inject out-of-range IDs; it
+// doubles anyway so repeated single-destination growth stays amortized.
 func (p *Protocol) insert(dst routing.NodeID) *best {
 	if int(dst) >= len(p.table) {
-		grown := make([]best, dst+1)
+		n := int(dst) + 1
+		if n < 2*len(p.table) {
+			n = 2 * len(p.table)
+		}
+		grown := make([]best, n)
 		copy(grown, p.table)
 		p.table = grown
 	}
@@ -106,7 +123,11 @@ func (p *Protocol) insert(dst routing.NodeID) *best {
 // markKnown records dst in the known set.
 func (p *Protocol) markKnown(dst routing.NodeID) {
 	if int(dst) >= len(p.known) {
-		grown := make([]bool, dst+1)
+		n := int(dst) + 1
+		if n < 2*len(p.known) {
+			n = 2 * len(p.known)
+		}
+		grown := make([]bool, n)
 		copy(grown, p.known)
 		p.known = grown
 	}
@@ -128,14 +149,28 @@ func (p *Protocol) cacheGet(n, dst routing.NodeID) (int, bool) {
 // cache dimensions on demand.
 func (p *Protocol) cacheSet(n, dst routing.NodeID, m int) {
 	if int(n) >= len(p.cache) {
-		grown := make([][]int32, n+1)
+		sz := int(n) + 1
+		if sz < 2*len(p.cache) {
+			sz = 2 * len(p.cache)
+		}
+		grown := make([][]int32, sz)
 		copy(grown, p.cache)
 		p.cache = grown
 	}
 	c := p.cache[n]
 	if int(dst) >= len(c) {
-		grown := make([]int32, dst+1)
-		for i := range grown {
+		// A neighbor that announces one destination will announce most of
+		// them, so size new rows to the whole network immediately rather
+		// than growing per destination.
+		sz := int(dst) + 1
+		if sz < 2*len(c) {
+			sz = 2 * len(c)
+		}
+		if full := p.node.NetworkSize(); sz < full {
+			sz = full
+		}
+		grown := make([]int32, sz)
+		for i := len(c); i < len(grown); i++ {
 			grown[i] = cacheAbsent
 		}
 		copy(grown, c)
@@ -159,6 +194,18 @@ func (p *Protocol) clearCache(n routing.NodeID) {
 
 // Start implements netsim.Protocol.
 func (p *Protocol) Start() {
+	// Node IDs are contiguous from 0, so size the dense per-destination
+	// state to the network up front; growing it one new maximum destination
+	// at a time is quadratic memory traffic on a 10k-node graph (the same
+	// idiom as ls and bgp).
+	if n := p.node.NetworkSize(); n > len(p.table) {
+		table := make([]best, n)
+		copy(table, p.table)
+		p.table = table
+		known := make([]bool, n)
+		copy(known, p.known)
+		p.known = known
+	}
 	self := p.node.ID()
 	b := p.insert(self)
 	b.metric, b.nextHop = 0, self
@@ -180,7 +227,7 @@ func (p *Protocol) HandleMessage(from routing.NodeID, msg netsim.Message) {
 	p.lastHeard[from] = p.node.Sim().Now()
 	changedAny := false
 	for _, e := range u.Entries {
-		m := e.Metric
+		m := int(e.Metric)
 		if m > p.cfg.Infinity {
 			m = p.cfg.Infinity
 		}
@@ -290,7 +337,8 @@ func (p *Protocol) LinkDown(neighbor routing.NodeID) {
 func (p *Protocol) LinkUp(neighbor routing.NodeID) {
 	p.up[neighbor] = true
 	p.clearCache(neighbor)
-	p.sendTable(neighbor, false)
+	p.collect(false)
+	p.sendPending(neighbor)
 }
 
 // recomputeAll re-minimizes every known destination.
@@ -324,27 +372,30 @@ func (p *Protocol) housekeep() {
 }
 
 func (p *Protocol) broadcastFull() {
+	p.collect(false)
 	for _, n := range p.node.Neighbors() {
 		if p.up[n] {
-			p.sendTable(n, false)
+			p.sendPending(n)
 		}
 	}
 	p.clearChanged()
 }
 
 func (p *Protocol) broadcastChanged() {
+	p.collect(true)
 	for _, n := range p.node.Neighbors() {
 		if p.up[n] {
-			p.sendTable(n, true)
+			p.sendPending(n)
 		}
 	}
 	p.clearChanged()
 }
 
-// sendTable composes and transmits update messages to one neighbor with
-// split horizon (poisoned reverse when configured).
-func (p *Protocol) sendTable(to routing.NodeID, changedOnly bool) {
-	var entries []routing.VectorEntry
+// collect stages the live (optionally changed-only) routes for
+// advertisement, in ascending destination order, so the per-neighbor send
+// walks a compact list rather than re-scanning the table.
+func (p *Protocol) collect(changedOnly bool) {
+	p.pend = p.pend[:0]
 	for dst := routing.NodeID(0); int(dst) < len(p.known); dst++ {
 		if !p.known[dst] {
 			continue
@@ -353,14 +404,30 @@ func (p *Protocol) sendTable(to routing.NodeID, changedOnly bool) {
 		if b == nil || (changedOnly && !b.changed) {
 			continue
 		}
-		metric := b.metric
-		if b.nextHop == to && dst != p.node.ID() {
+		p.pend = append(p.pend, pending{dst: dst, nextHop: b.nextHop, metric: int32(b.metric)})
+	}
+}
+
+// sendPending composes and transmits the staged routes to one neighbor with
+// split horizon (poisoned reverse when configured). The entry slice is
+// allocated at exact size and handed off to the packed messages, which
+// alias it until delivery.
+func (p *Protocol) sendPending(to routing.NodeID) {
+	if len(p.pend) == 0 {
+		return
+	}
+	entries := make([]routing.VectorEntry, 0, len(p.pend))
+	self := p.node.ID()
+	for i := range p.pend {
+		e := &p.pend[i]
+		metric := e.metric
+		if e.nextHop == to && e.dst != self {
 			if !p.cfg.PoisonReverse {
 				continue
 			}
-			metric = p.cfg.Infinity
+			metric = int32(p.cfg.Infinity)
 		}
-		entries = append(entries, routing.VectorEntry{Dst: dst, Metric: metric})
+		entries = append(entries, routing.VectorEntry{Dst: e.dst, Metric: metric})
 	}
 	for _, msg := range p.cfg.PackEntries(entries) {
 		p.node.Metrics().Inc(obs.ProtoUpdatesSent)

@@ -44,7 +44,7 @@ func FuzzEncodeStability(f *testing.F) {
 	f.Fuzz(func(t *testing.T, dst uint16, metric uint8) {
 		cfg := DefaultVectorConfig()
 		u := &VectorUpdate{
-			Entries: []VectorEntry{{Dst: NodeID(dst), Metric: int(metric)}},
+			Entries: []VectorEntry{{Dst: NodeID(dst), Metric: int32(metric)}},
 			header:  cfg.HeaderBytes,
 			entry:   cfg.EntryBytes,
 		}

@@ -10,6 +10,8 @@
 package rip
 
 import (
+	"math"
+	"math/bits"
 	"time"
 
 	"routeconv/internal/netsim"
@@ -22,9 +24,13 @@ import (
 // is an implementation detail; any value well under the timeout works.
 const housekeepInterval = time.Second
 
-// route is one RIP table entry.
+// noDeadline marks a table with no pending expire/gc deadline at all.
+const noDeadline = time.Duration(math.MaxInt64)
+
+// route is one RIP table entry. The metric is 32 bits (infinity is 16) to
+// keep the dense table compact on internet-scale graphs.
 type route struct {
-	metric  int
+	metric  int32
 	nextHop routing.NodeID
 	expire  time.Duration // deadline after which the route times out
 	gcAt    time.Duration // when an unreachable route is deleted
@@ -36,13 +42,36 @@ type route struct {
 type Protocol struct {
 	node *netsim.Node
 	cfg  routing.VectorConfig
+	inf  int32 // cfg.Infinity in the table's metric width
 	// table is dense, indexed by destination ID (node IDs are contiguous
 	// from 0); invalid slots are absent entries. Ascending index iteration
 	// gives the same deterministic order a sorted key list would.
 	table []route
-	up    map[routing.NodeID]bool
-	adv   *routing.Advertiser
-	hk    *sim.Timer
+	// changedBits mirrors the entries' changed flags, one bit per
+	// destination, so a triggered update visits only the changed routes
+	// instead of scanning the full table per neighbor — the dominant cost
+	// of a converging large network, where each burst touches a handful of
+	// the N table entries.
+	changedBits []uint64
+	// nextDeadline is a lower bound on the earliest expire/gc deadline in
+	// the table (0 = unknown, scan to find out), letting housekeep skip its
+	// full scan on the overwhelmingly common tick where nothing can expire.
+	nextDeadline time.Duration
+	up           map[routing.NodeID]bool
+	adv          *routing.Advertiser
+	hk           *sim.Timer
+	// pend stages the routes of one update burst, collected once so the
+	// per-neighbor pass walks a compact list instead of re-scanning the
+	// table — on a power-law hub with a thousand neighbors the rescans are
+	// the whole burst cost.
+	pend []pending
+}
+
+// pending is one route staged for advertisement.
+type pending struct {
+	dst     routing.NodeID
+	nextHop routing.NodeID
+	metric  int32
 }
 
 var _ netsim.Protocol = (*Protocol)(nil)
@@ -53,6 +82,7 @@ func New(node *netsim.Node, cfg routing.VectorConfig) *Protocol {
 	p := &Protocol{
 		node: node,
 		cfg:  cfg,
+		inf:  int32(cfg.Infinity),
 		up:   make(map[routing.NodeID]bool),
 	}
 	p.adv = routing.NewAdvertiser(node.Sim(), &p.cfg, p.broadcastFull, p.broadcastChanged)
@@ -73,7 +103,7 @@ func (p *Protocol) Table(dst routing.NodeID) (metric int, nextHop routing.NodeID
 	if rt == nil {
 		return 0, 0, false
 	}
-	return rt.metric, rt.nextHop, true
+	return int(rt.metric), rt.nextHop, true
 }
 
 // route returns the live entry for dst, or nil.
@@ -85,10 +115,16 @@ func (p *Protocol) route(dst routing.NodeID) *route {
 }
 
 // insert claims the slot for dst, growing the table on demand, and returns
-// it zeroed with valid set.
+// it zeroed with valid set. Start presizes the table to the network, so
+// growth here only triggers for unit tests that inject out-of-range IDs;
+// it doubles anyway so repeated single-destination growth stays amortized.
 func (p *Protocol) insert(dst routing.NodeID) *route {
 	if int(dst) >= len(p.table) {
-		grown := make([]route, dst+1)
+		n := int(dst) + 1
+		if n < 2*len(p.table) {
+			n = 2 * len(p.table)
+		}
+		grown := make([]route, n)
 		copy(grown, p.table)
 		p.table = grown
 	}
@@ -96,8 +132,45 @@ func (p *Protocol) insert(dst routing.NodeID) *route {
 	return &p.table[dst]
 }
 
+// setChanged flags the entry for the next triggered update, in both the
+// entry and the bitmap (the invariant the bitmap iteration relies on:
+// changed entries always have their bit set).
+func (p *Protocol) setChanged(dst routing.NodeID, rt *route) {
+	rt.changed = true
+	w := int(dst) >> 6
+	if w >= len(p.changedBits) {
+		n := w + 1
+		if n < 2*len(p.changedBits) {
+			n = 2 * len(p.changedBits)
+		}
+		grown := make([]uint64, n)
+		copy(grown, p.changedBits)
+		p.changedBits = grown
+	}
+	p.changedBits[w] |= 1 << (uint(dst) & 63)
+}
+
+// noteDeadline lowers the housekeeping deadline bound to d.
+func (p *Protocol) noteDeadline(d time.Duration) {
+	if p.nextDeadline == 0 || d < p.nextDeadline {
+		p.nextDeadline = d
+	}
+}
+
 // Start implements netsim.Protocol.
 func (p *Protocol) Start() {
+	// Node IDs are contiguous from 0, so size the dense table and its
+	// changed bitmap to the network up front; growing them one new maximum
+	// destination at a time is quadratic memory traffic on a 10k-node
+	// graph (the same idiom as ls and bgp).
+	if n := p.node.NetworkSize(); n > len(p.table) {
+		grown := make([]route, n)
+		copy(grown, p.table)
+		p.table = grown
+		bits := make([]uint64, (n+63)/64)
+		copy(bits, p.changedBits)
+		p.changedBits = bits
+	}
 	self := p.node.ID()
 	rt := p.insert(self)
 	rt.metric, rt.nextHop = 0, self
@@ -123,6 +196,23 @@ func (p *Protocol) HandleMessage(from routing.NodeID, msg netsim.Message) {
 	changedAny := false
 	for _, e := range u.Entries {
 		met.Inc(obs.ProtoDecisionRuns)
+		// Fast no-op rejection: an entry that is not from the current next
+		// hop and does not beat the current metric changes nothing (§3.9.2
+		// leaves the route untouched). On a converging large network the
+		// bulk of received entries land here, so skipping the full decision
+		// is the dominant receive-side saving.
+		if int(e.Dst) < len(p.table) && e.Dst >= 0 {
+			rt := &p.table[e.Dst]
+			if rt.valid && from != rt.nextHop {
+				metric := e.Metric + 1
+				if metric > p.inf {
+					metric = p.inf
+				}
+				if metric >= rt.metric {
+					continue
+				}
+			}
+		}
 		if p.processEntry(from, e, now) {
 			changedAny = true
 		}
@@ -139,34 +229,38 @@ func (p *Protocol) processEntry(from routing.NodeID, e routing.VectorEntry, now 
 		return false
 	}
 	metric := e.Metric + 1 // link cost is 1 everywhere in the study
-	if metric > p.cfg.Infinity {
-		metric = p.cfg.Infinity
+	if metric > p.inf {
+		metric = p.inf
 	}
 	rt := p.route(e.Dst)
 	switch {
 	case rt == nil:
-		if metric >= p.cfg.Infinity {
+		if metric >= p.inf {
 			return false
 		}
 		rt = p.insert(e.Dst)
-		rt.metric, rt.nextHop, rt.expire, rt.changed = metric, from, now+p.cfg.Timeout, true
+		rt.metric, rt.nextHop, rt.expire = metric, from, now+p.cfg.Timeout
+		p.setChanged(e.Dst, rt)
+		p.noteDeadline(rt.expire)
 		p.node.SetRoute(e.Dst, from)
 		return true
 
 	case from == rt.nextHop:
 		// News from the current next hop is always believed, even if worse.
-		if metric < p.cfg.Infinity {
+		if metric < p.inf {
 			rt.expire = now + p.cfg.Timeout
+			p.noteDeadline(rt.expire)
 		}
 		if metric == rt.metric {
 			return false
 		}
-		wasReachable := rt.metric < p.cfg.Infinity
+		wasReachable := rt.metric < p.inf
 		rt.metric = metric
-		rt.changed = true
-		if metric >= p.cfg.Infinity {
+		p.setChanged(e.Dst, rt)
+		if metric >= p.inf {
 			if wasReachable {
 				rt.gcAt = now + p.cfg.GCTime
+				p.noteDeadline(rt.gcAt)
 				p.node.ClearRoute(e.Dst)
 			}
 		} else {
@@ -182,7 +276,8 @@ func (p *Protocol) processEntry(from routing.NodeID, e routing.VectorEntry, now 
 		rt.nextHop = from
 		rt.expire = now + p.cfg.Timeout
 		rt.gcAt = 0
-		rt.changed = true
+		p.setChanged(e.Dst, rt)
+		p.noteDeadline(rt.expire)
 		p.node.SetRoute(e.Dst, from)
 		return true
 	}
@@ -198,12 +293,13 @@ func (p *Protocol) LinkDown(neighbor routing.NodeID) {
 	changedAny := false
 	for dst := routing.NodeID(0); int(dst) < len(p.table); dst++ {
 		rt := &p.table[dst]
-		if !rt.valid || rt.nextHop != neighbor || rt.metric >= p.cfg.Infinity {
+		if !rt.valid || rt.nextHop != neighbor || rt.metric >= p.inf {
 			continue
 		}
-		rt.metric = p.cfg.Infinity
+		rt.metric = p.inf
 		rt.gcAt = now + p.cfg.GCTime
-		rt.changed = true
+		p.setChanged(dst, rt)
+		p.noteDeadline(rt.gcAt)
 		p.node.ClearRoute(dst)
 		changedAny = true
 	}
@@ -216,29 +312,49 @@ func (p *Protocol) LinkDown(neighbor routing.NodeID) {
 // receives our full table (standing in for RIP's request/response exchange).
 func (p *Protocol) LinkUp(neighbor routing.NodeID) {
 	p.up[neighbor] = true
-	p.sendTable(neighbor, false)
+	p.collectFull()
+	p.sendPending(neighbor)
 }
 
-// housekeep expires timed-out routes and garbage-collects dead ones.
+// housekeep expires timed-out routes and garbage-collects dead ones. The
+// full scan runs only when the earliest tracked deadline has passed;
+// otherwise the tick is O(1) — on a quiet tick (the overwhelmingly common
+// case) nothing could have expired, so skipping the scan changes nothing.
 func (p *Protocol) housekeep() {
 	now := p.node.Sim().Now()
+	if p.nextDeadline != 0 && now < p.nextDeadline {
+		p.hk.Reset(housekeepInterval)
+		return
+	}
 	changedAny := false
+	next := noDeadline
+	self := p.node.ID()
 	for dst := routing.NodeID(0); int(dst) < len(p.table); dst++ {
 		rt := &p.table[dst]
-		if !rt.valid || dst == p.node.ID() {
+		if !rt.valid || dst == self {
 			continue
 		}
-		if rt.metric < p.cfg.Infinity && now >= rt.expire {
-			rt.metric = p.cfg.Infinity
+		if rt.metric < p.inf && now >= rt.expire {
+			rt.metric = p.inf
 			rt.gcAt = now + p.cfg.GCTime
-			rt.changed = true
+			p.setChanged(dst, rt)
 			p.node.ClearRoute(dst)
 			changedAny = true
 		}
-		if rt.metric >= p.cfg.Infinity && rt.gcAt > 0 && now >= rt.gcAt {
+		if rt.metric >= p.inf && rt.gcAt > 0 && now >= rt.gcAt {
 			rt.valid = false
+			continue
+		}
+		// Track the surviving entry's next deadline for the skip bound.
+		if rt.metric < p.inf {
+			if rt.expire < next {
+				next = rt.expire
+			}
+		} else if rt.gcAt > 0 && rt.gcAt < next {
+			next = rt.gcAt
 		}
 	}
+	p.nextDeadline = next
 	if changedAny {
 		p.adv.RouteChanged()
 	}
@@ -247,9 +363,10 @@ func (p *Protocol) housekeep() {
 
 // broadcastFull sends the whole table to every up neighbor.
 func (p *Protocol) broadcastFull() {
+	p.collectFull()
 	for _, n := range p.node.Neighbors() {
 		if p.up[n] {
-			p.sendTable(n, false)
+			p.sendPending(n)
 		}
 	}
 	p.clearChanged()
@@ -258,31 +375,71 @@ func (p *Protocol) broadcastFull() {
 // broadcastChanged sends only routes with the changed flag (a triggered
 // update) to every up neighbor.
 func (p *Protocol) broadcastChanged() {
+	p.collectChanged()
 	for _, n := range p.node.Neighbors() {
 		if p.up[n] {
-			p.sendTable(n, true)
+			p.sendPending(n)
 		}
 	}
 	p.clearChanged()
 }
 
-// sendTable composes and transmits update messages to one neighbor,
-// applying split horizon (with poisoned reverse when configured).
-func (p *Protocol) sendTable(to routing.NodeID, changedOnly bool) {
-	var entries []routing.VectorEntry
+// collectFull stages every live route for advertisement, in ascending
+// destination order.
+func (p *Protocol) collectFull() {
+	p.pend = p.pend[:0]
 	for dst := routing.NodeID(0); int(dst) < len(p.table); dst++ {
 		rt := &p.table[dst]
-		if !rt.valid || (changedOnly && !rt.changed) {
+		if !rt.valid {
 			continue
 		}
-		metric := rt.metric
-		if rt.nextHop == to && dst != p.node.ID() {
+		p.pend = append(p.pend, pending{dst: dst, nextHop: rt.nextHop, metric: rt.metric})
+	}
+}
+
+// collectChanged stages only routes with the changed flag (a triggered
+// update), iterating the changed bitmap — ascending destination order,
+// exactly like the full scan — so the cost scales with the change burst,
+// not the table.
+func (p *Protocol) collectChanged() {
+	p.pend = p.pend[:0]
+	for w, word := range p.changedBits {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &^= 1 << uint(b)
+			dst := routing.NodeID(w<<6 + b)
+			if int(dst) >= len(p.table) {
+				break
+			}
+			rt := &p.table[dst]
+			if !rt.valid || !rt.changed {
+				continue // stale bit (entry replaced or garbage-collected)
+			}
+			p.pend = append(p.pend, pending{dst: dst, nextHop: rt.nextHop, metric: rt.metric})
+		}
+	}
+}
+
+// sendPending composes and transmits the staged routes to one neighbor,
+// applying split horizon (with poisoned reverse when configured). The
+// entry slice is allocated at exact size and handed off to the packed
+// messages, which alias it until delivery.
+func (p *Protocol) sendPending(to routing.NodeID) {
+	if len(p.pend) == 0 {
+		return
+	}
+	entries := make([]routing.VectorEntry, 0, len(p.pend))
+	self := p.node.ID()
+	for i := range p.pend {
+		e := &p.pend[i]
+		metric := e.metric
+		if e.nextHop == to && e.dst != self {
 			if !p.cfg.PoisonReverse {
 				continue // plain split horizon: stay silent
 			}
-			metric = p.cfg.Infinity
+			metric = p.inf
 		}
-		entries = append(entries, routing.VectorEntry{Dst: dst, Metric: metric})
+		entries = append(entries, routing.VectorEntry{Dst: e.dst, Metric: metric})
 	}
 	for _, msg := range p.cfg.PackEntries(entries) {
 		p.node.Metrics().Inc(obs.ProtoUpdatesSent)
@@ -291,7 +448,14 @@ func (p *Protocol) sendTable(to routing.NodeID, changedOnly bool) {
 }
 
 func (p *Protocol) clearChanged() {
-	for i := range p.table {
-		p.table[i].changed = false
+	for w, word := range p.changedBits {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &^= 1 << uint(b)
+			if dst := w<<6 + b; dst < len(p.table) {
+				p.table[dst].changed = false
+			}
+		}
+		p.changedBits[w] = 0
 	}
 }

@@ -115,7 +115,7 @@ func (s *sniffer) entryFor(dst routing.NodeID) (int, bool) {
 	for _, u := range s.updates {
 		for _, e := range u.Entries {
 			if e.Dst == dst {
-				metric, found = e.Metric, true
+				metric, found = int(e.Metric), true
 			}
 		}
 	}

@@ -69,9 +69,12 @@ func DefaultVectorConfig() VectorConfig {
 }
 
 // VectorEntry is one destination/metric pair in a distance-vector update.
+// The metric is 32 bits (infinity is 16): at internet scale the entry
+// slices of in-flight updates are the dominant transient allocation, and
+// the narrow field halves them.
 type VectorEntry struct {
 	Dst    NodeID
-	Metric int
+	Metric int32
 }
 
 // VectorUpdate is a RIP/DBF update message: up to MaxEntries entries.

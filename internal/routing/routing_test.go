@@ -31,7 +31,7 @@ func TestPackEntries(t *testing.T) {
 	cfg := DefaultVectorConfig()
 	entries := make([]VectorEntry, 60)
 	for i := range entries {
-		entries[i] = VectorEntry{Dst: NodeID(i), Metric: i % 16}
+		entries[i] = VectorEntry{Dst: NodeID(i), Metric: int32(i % 16)}
 	}
 	msgs := cfg.PackEntries(entries)
 	if len(msgs) != 3 {

@@ -75,7 +75,7 @@ func DecodeVectorUpdate(buf []byte, cfg *VectorConfig) (*VectorUpdate, error) {
 		}
 		u.Entries[i] = VectorEntry{
 			Dst:    nodeForAddr(binary.BigEndian.Uint32(body[off+4:])),
-			Metric: int(binary.BigEndian.Uint32(body[off+16:])),
+			Metric: int32(binary.BigEndian.Uint32(body[off+16:])),
 		}
 	}
 	return u, nil

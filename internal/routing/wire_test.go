@@ -48,7 +48,7 @@ func TestWireSizeModel(t *testing.T) {
 	for _, n := range []int{0, 1, 10, 25} {
 		entries := make([]VectorEntry, n)
 		for i := range entries {
-			entries[i] = VectorEntry{Dst: NodeID(i), Metric: i % 17}
+			entries[i] = VectorEntry{Dst: NodeID(i), Metric: int32(i % 17)}
 		}
 		u := &VectorUpdate{Entries: entries, header: cfg.HeaderBytes, entry: cfg.EntryBytes}
 		if got, want := u.SizeBytes(), len(u.Encode())+UDPIPOverhead; got != want {
@@ -103,7 +103,7 @@ func TestPropertyVectorUpdateRoundTrip(t *testing.T) {
 		}
 		entries := make([]VectorEntry, n)
 		for i := 0; i < n; i++ {
-			entries[i] = VectorEntry{Dst: NodeID(dsts[i]), Metric: int(metrics[i]) % 17}
+			entries[i] = VectorEntry{Dst: NodeID(dsts[i]), Metric: int32(metrics[i]) % 17}
 		}
 		u := &VectorUpdate{Entries: entries, header: cfg.HeaderBytes, entry: cfg.EntryBytes}
 		got, err := DecodeVectorUpdate(u.Encode(), &cfg)

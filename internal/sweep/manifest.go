@@ -31,6 +31,7 @@ type ManifestCell struct {
 	Key      string `json:"key"`
 	Protocol string `json:"protocol"`
 	Degree   int    `json:"degree"`
+	Topo     string `json:"topo,omitempty"`
 	Failure  string `json:"failure"`
 	Seed     int64  `json:"seed"`
 	Trials   int    `json:"trials"`
@@ -66,6 +67,7 @@ func buildManifest(spec Spec, out *Outcome) *Manifest {
 			Key:      c.Cell.Key,
 			Protocol: c.Cell.Protocol.String(),
 			Degree:   c.Cell.Degree,
+			Topo:     c.Cell.Topo,
 			Failure:  c.Cell.Failure.Name,
 			Seed:     c.Cell.Config.Seed,
 			Trials:   c.Cell.Config.Trials,

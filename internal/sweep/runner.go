@@ -264,7 +264,8 @@ func progressLine(done, total, hits int, elapsed time.Duration) string {
 // SweepResult assembles the outcome's single-failure cells into the figure
 // renderer's shape (core.SweepResult), so figure generation runs on top of
 // the orchestrator. Cells of failure modes other than the first are
-// ignored — the paper's figures describe one failure model at a time.
+// ignored — the paper's figures describe one failure model at a time —
+// and so are topo-spec cells, which have no degree axis to plot along.
 func (o *Outcome) SweepResult() *core.SweepResult {
 	var protocols []core.ProtocolKind
 	var degrees []int
@@ -275,7 +276,7 @@ func (o *Outcome) SweepResult() *core.SweepResult {
 	base := o.Spec.base()
 	for i := range o.Cells {
 		c := &o.Cells[i]
-		if c.Result == nil {
+		if c.Result == nil || c.Cell.Topo != "" {
 			continue
 		}
 		if failure == "" {

@@ -84,8 +84,8 @@ func (f FailureMode) apply(cfg *core.Config) {
 	}
 }
 
-// Spec declares a sweep: the full grid is Protocols × Degrees × Failures,
-// each cell running Trials independent trials. The zero values of the
+// Spec declares a sweep: the full grid is Protocols × (Degrees ∪ Topos) ×
+// Failures, each cell running Trials independent trials. The zero values of the
 // optional fields inherit the paper's §5 parameters (core.DefaultConfig).
 type Spec struct {
 	// Name labels the sweep in manifests and progress output.
@@ -94,6 +94,10 @@ type Spec struct {
 	Protocols []string `json:"protocols"`
 	// Degrees lists the mesh node degrees to sweep.
 	Degrees []int `json:"degrees"`
+	// Topos lists topology specs (topoio mini-language, e.g. "ba:n=10000,m=2"
+	// or "file:as.edges") swept alongside — or instead of — Degrees. Each
+	// spec becomes one cell per protocol and failure mode.
+	Topos []string `json:"topos,omitempty"`
 	// Trials is the per-cell trial count (paper: 100).
 	Trials int `json:"trials"`
 	// Seed is the base random seed (default 1).
@@ -120,6 +124,9 @@ type Cell struct {
 	// Protocol and Degree locate the cell in the grid.
 	Protocol core.ProtocolKind
 	Degree   int
+	// Topo is the cell's topology spec when it came from the Topos axis;
+	// empty for degree-swept mesh cells.
+	Topo string
 	// Failure is the cell's failure model.
 	Failure FailureMode
 	// Config is the fully-resolved experiment configuration.
@@ -129,8 +136,12 @@ type Cell struct {
 	Key string
 }
 
-// ID returns the cell's human-readable identifier, e.g. "dbf/d4/single".
+// ID returns the cell's human-readable identifier, e.g. "dbf/d4/single"
+// for a mesh-degree cell or "rip/ba:n=10000,m=2/single" for a topo cell.
 func (c *Cell) ID() string {
+	if c.Topo != "" {
+		return fmt.Sprintf("%s/%s/%s", c.Protocol, c.Topo, c.Failure.Name)
+	}
 	return fmt.Sprintf("%s/d%d/%s", c.Protocol, c.Degree, c.Failure.Name)
 }
 
@@ -176,14 +187,15 @@ func (s *Spec) base() core.Config {
 }
 
 // Expand resolves the spec into its work plan: one Cell per point of the
-// Protocols × Degrees × Failures grid, each validated and keyed. The plan
-// order is deterministic (protocol-major, then degree, then failure).
+// Protocols × (Degrees ∪ Topos) × Failures grid, each validated and keyed.
+// The plan order is deterministic (protocol-major, then degrees before
+// topos, then failure).
 func (s *Spec) Expand() ([]Cell, error) {
 	if len(s.Protocols) == 0 {
 		return nil, fmt.Errorf("sweep: spec lists no protocols")
 	}
-	if len(s.Degrees) == 0 {
-		return nil, fmt.Errorf("sweep: spec lists no degrees")
+	if len(s.Degrees) == 0 && len(s.Topos) == 0 {
+		return nil, fmt.Errorf("sweep: spec lists no degrees and no topos")
 	}
 	failures := s.Failures
 	if len(failures) == 0 {
@@ -215,6 +227,22 @@ func (s *Spec) Expand() ([]Cell, error) {
 					return nil, fmt.Errorf("sweep: cell %s/d%d/%s: %w", proto, d, f.Name, err)
 				}
 				cells = append(cells, Cell{Protocol: proto, Degree: d, Failure: f, Config: cfg, Key: key})
+			}
+		}
+		for _, topo := range s.Topos {
+			for _, f := range failures {
+				cfg := base
+				cfg.Protocol = proto
+				cfg.Topo = topo
+				f.apply(&cfg)
+				if err := cfg.Validate(); err != nil {
+					return nil, fmt.Errorf("sweep: cell %s/%s/%s: %w", proto, topo, f.Name, err)
+				}
+				key, err := CellKey(&cfg)
+				if err != nil {
+					return nil, fmt.Errorf("sweep: cell %s/%s/%s: %w", proto, topo, f.Name, err)
+				}
+				cells = append(cells, Cell{Protocol: proto, Topo: topo, Failure: f, Config: cfg, Key: key})
 			}
 		}
 	}

@@ -58,6 +58,54 @@ func TestParseSpecJSON(t *testing.T) {
 	}
 }
 
+func TestExpandToposAxis(t *testing.T) {
+	spec := Spec{
+		Protocols: []string{"rip", "ls"},
+		Degrees:   []int{4},
+		Topos:     []string{"ba:n=64,m=2,seed=1", "fattree:k=4"},
+		Trials:    2,
+	}
+	cells, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per protocol: one degree cell then two topo cells.
+	if len(cells) != 6 {
+		t.Fatalf("expanded %d cells, want 6", len(cells))
+	}
+	if cells[0].ID() != "rip/d4/single" {
+		t.Errorf("cell 0 ID = %s", cells[0].ID())
+	}
+	if cells[1].ID() != "rip/ba:n=64,m=2,seed=1/single" {
+		t.Errorf("cell 1 ID = %s", cells[1].ID())
+	}
+	if cells[2].Topo != "fattree:k=4" || cells[2].Config.Topo != "fattree:k=4" {
+		t.Errorf("cell 2 topo not threaded: %+v", cells[2])
+	}
+	// Keys are distinct across the whole plan.
+	seen := make(map[string]bool)
+	for _, c := range cells {
+		if seen[c.Key] {
+			t.Errorf("duplicate key for %s", c.ID())
+		}
+		seen[c.Key] = true
+	}
+	// Topo-only specs are valid.
+	only := Spec{Protocols: []string{"ls"}, Topos: []string{"ring:n=16"}, Trials: 1}
+	cells, err = only.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 1 || cells[0].Degree != 0 {
+		t.Fatalf("topo-only expansion: %+v", cells)
+	}
+	// A bad spec fails expansion with a located error.
+	bad := Spec{Protocols: []string{"ls"}, Topos: []string{"nonesuch:n=4"}, Trials: 1}
+	if _, err := bad.Expand(); err == nil {
+		t.Error("bad topo spec expanded")
+	}
+}
+
 func TestParseSpecRejectsUnknownFields(t *testing.T) {
 	if _, err := ParseSpec([]byte(`{"protocols":["rip"],"degrees":[3],"trials":1,"bogus":true}`)); err == nil {
 		t.Fatal("unknown field accepted")
@@ -92,7 +140,8 @@ func TestCellKeysGolden(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	const want = "4104b5770c3bc9a56aabb8362f97745f07f2217dc1d4dc1ccc0415111e192b77"
+	// Updated when core.Config gained the Topo spec field (PR 6).
+	const want = "3de361a9cd45b213e8f37e7f1501e71bb44b5c19f764b9225e004310d6fd24a1"
 	if key != want {
 		t.Errorf("golden dbf key changed:\n got %s\nwant %s\n(an intentional Config or encoding change must update this golden)", key, want)
 	}
@@ -101,7 +150,7 @@ func TestCellKeysGolden(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	const wantRIP = "ff0f880443274e76d4229bbf20f687b318bbea77556f32ea4fe62ea70a521215"
+	const wantRIP = "cf0d5122f2c469bf760f37e1ebd2f36472b163e249c1bd865932560e00de1ac6"
 	if key2 != wantRIP {
 		t.Errorf("golden rip key changed:\n got %s\nwant %s", key2, wantRIP)
 	}

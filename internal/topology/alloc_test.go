@@ -1,0 +1,66 @@
+package topology
+
+import "testing"
+
+// TestEdgesAllocFree pins the memoization contract: after the first call,
+// repeated Edges() calls on an unmodified graph allocate nothing, and
+// DegreeCounts with a recycled buffer allocates nothing. Large-graph
+// analysis loops depend on both.
+func TestEdgesAllocFree(t *testing.T) {
+	g := BarabasiAlbert(2000, 2, 1)
+	g.Edges() // populate the cache
+	if allocs := testing.AllocsPerRun(20, func() { g.Edges() }); allocs != 0 {
+		t.Errorf("cached Edges() allocates %v times per run", allocs)
+	}
+	buf := g.DegreeCounts(nil)
+	if allocs := testing.AllocsPerRun(20, func() { buf = g.DegreeCounts(buf) }); allocs != 0 {
+		t.Errorf("DegreeCounts with recycled buffer allocates %v times per run", allocs)
+	}
+}
+
+func BenchmarkBarabasiAlbert10k(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		BarabasiAlbert(10_000, 2, 1)
+	}
+}
+
+func BenchmarkBarabasiAlbert100k(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		BarabasiAlbert(100_000, 2, 1)
+	}
+}
+
+func BenchmarkGLP10k(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		GLP(10_000, 2, GLPDefaultP, GLPDefaultBeta, 1)
+	}
+}
+
+func BenchmarkNewCSR(b *testing.B) {
+	g := BarabasiAlbert(100_000, 2, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewCSR(g)
+	}
+}
+
+func BenchmarkCSRBFS100k(b *testing.B) {
+	c := NewCSR(BarabasiAlbert(100_000, 2, 1))
+	var s BFSScratch
+	c.BFS(0, &s)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.BFS(NodeID(i%c.Len()), &s)
+	}
+}
+
+func BenchmarkEdges100k(b *testing.B) {
+	g := BarabasiAlbert(100_000, 2, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.edgeCache = nil // measure the rebuild, not the memoized lookup
+		if len(g.Edges()) != g.NumEdges() {
+			b.Fatal("edge count mismatch")
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package topology
+
+import (
+	"testing"
+)
+
+func TestCSRMatchesGraph(t *testing.T) {
+	g := BarabasiAlbert(300, 2, 5)
+	c := NewCSR(g)
+	if c.Len() != g.Len() || c.NumEdges() != g.NumEdges() {
+		t.Fatalf("size mismatch: %d/%d vs %d/%d", c.Len(), c.NumEdges(), g.Len(), g.NumEdges())
+	}
+	for u := 0; u < g.Len(); u++ {
+		if c.Degree(NodeID(u)) != g.Degree(NodeID(u)) {
+			t.Fatalf("degree mismatch at %d", u)
+		}
+		row := c.Neighbors(NodeID(u))
+		for i := 1; i < len(row); i++ {
+			if row[i-1] >= row[i] {
+				t.Fatalf("row %d not strictly ascending", u)
+			}
+		}
+		for _, v := range row {
+			if !g.HasEdge(NodeID(u), v) {
+				t.Fatalf("CSR edge {%d,%d} missing from graph", u, v)
+			}
+		}
+	}
+	ge, ce := g.Edges(), c.Edges()
+	if len(ge) != len(ce) {
+		t.Fatalf("edge counts differ")
+	}
+	for i := range ge {
+		if ge[i] != ce[i] {
+			t.Fatalf("edge %d differs: %v vs %v", i, ge[i], ce[i])
+		}
+	}
+}
+
+func TestCSRBFSMatchesGraphBFS(t *testing.T) {
+	g := GLP(400, 2, GLPDefaultP, GLPDefaultBeta, 11)
+	c := NewCSR(g)
+	var s BFSScratch
+	for _, src := range []NodeID{0, 17, 399} {
+		want := g.BFS(src)
+		got := c.BFS(src, &s)
+		for v := range want {
+			if int(got[v]) != want[v] {
+				t.Fatalf("BFS from %d: dist[%d] = %d, want %d", src, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+func TestCSRHasEdge(t *testing.T) {
+	g := NewGraph(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	c := NewCSR(g)
+	cases := []struct {
+		a, b NodeID
+		want bool
+	}{
+		{0, 1, true}, {1, 0, true}, {1, 2, true}, {0, 2, false},
+		{3, 0, false}, {-1, 0, false}, {0, 4, false},
+	}
+	for _, tc := range cases {
+		if got := c.HasEdge(tc.a, tc.b); got != tc.want {
+			t.Errorf("HasEdge(%d,%d) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestCSRConnected(t *testing.T) {
+	g := NewGraph(3)
+	g.AddEdge(0, 1)
+	if NewCSR(g).Connected() {
+		t.Error("disconnected graph reported connected")
+	}
+	g.AddEdge(1, 2)
+	if !NewCSR(g).Connected() {
+		t.Error("connected graph reported disconnected")
+	}
+	if !NewCSR(&Graph{}).Connected() {
+		t.Error("empty graph should count as connected")
+	}
+}
+
+func TestEstimateDiameter(t *testing.T) {
+	// A line graph's diameter is exact under double-sweep from any start.
+	g := Line(50)
+	c := NewCSR(g)
+	if d := c.EstimateDiameter(1, 1); d != 49 {
+		t.Errorf("line diameter estimate = %d, want 49", d)
+	}
+	// Ring of 10: diameter 5.
+	r := NewCSR(Ring(10))
+	if d := r.EstimateDiameter(4, 1); d != 5 {
+		t.Errorf("ring diameter estimate = %d, want 5", d)
+	}
+	// Estimates never exceed the true diameter.
+	ba := BarabasiAlbert(500, 2, 3)
+	exact := ba.Diameter()
+	if est := NewCSR(ba).EstimateDiameter(8, 1); est > exact || est < 1 {
+		t.Errorf("BA diameter estimate %d outside (0, %d]", est, exact)
+	}
+	// Disconnected graphs report -1.
+	d2 := NewGraph(2)
+	if NewCSR(d2).EstimateDiameter(2, 1) != -1 {
+		t.Error("disconnected estimate != -1")
+	}
+}
+
+func TestAvgPathLengthSampled(t *testing.T) {
+	g := Ring(8) // every node's distances: 1,1,2,2,3,3,4 → mean 16/7
+	c := NewCSR(g)
+	want := 16.0 / 7.0
+	got := c.AvgPathLengthSampled(8, 1) // samples ≥ n → exact
+	if diff := got - want; diff < -1e-9 || diff > 1e-9 {
+		t.Errorf("exact avg path = %v, want %v", got, want)
+	}
+	// Sampling a vertex-transitive graph is exact too.
+	if got := c.AvgPathLengthSampled(2, 7); got != want {
+		t.Errorf("sampled avg path = %v, want %v", got, want)
+	}
+	d2 := NewGraph(2)
+	if NewCSR(d2).AvgPathLengthSampled(2, 1) != -1 {
+		t.Error("disconnected sampled avg != -1")
+	}
+}
+
+func TestCSRBFSScratchReuseAllocFree(t *testing.T) {
+	c := NewCSR(BarabasiAlbert(1000, 2, 1))
+	var s BFSScratch
+	c.BFS(0, &s) // warm the scratch
+	allocs := testing.AllocsPerRun(20, func() { c.BFS(3, &s) })
+	if allocs != 0 {
+		t.Errorf("CSR BFS with warm scratch allocates %v times per run", allocs)
+	}
+}

@@ -1,7 +1,10 @@
 // Package topology builds and analyzes the network topologies used in the
 // study: the Baran-style regular meshes of uniform interior node degree
-// from the paper's §5, plus reference generators (line, ring, full mesh,
-// random) used by tests and extensions.
+// from the paper's §5, reference generators (line, ring, full mesh,
+// random, torus, hypercube, small-world), internet-scale families
+// (Barabási–Albert and GLP power-law graphs, fat-tree and leaf-spine
+// datacenter fabrics), and a compressed-sparse-row snapshot for
+// allocation-free analysis of large graphs.
 package topology
 
 import (
@@ -9,8 +12,10 @@ import (
 	"sort"
 )
 
-// NodeID identifies a node within a topology. IDs are dense, starting at 0.
-type NodeID int
+// NodeID identifies a node within a topology. IDs are dense, starting at 0,
+// and 32 bits wide so the dense per-destination tables of the routing
+// protocols stay compact on internet-scale graphs.
+type NodeID int32
 
 // Edge is an undirected link between two nodes, stored with A < B.
 type Edge struct {
@@ -25,37 +30,38 @@ func NewEdge(a, b NodeID) Edge {
 	return Edge{A: a, B: b}
 }
 
-// Graph is an undirected graph with dense node IDs. The zero value is an
-// empty graph; grow it with AddNode/AddEdge.
+// Graph is an undirected graph with dense node IDs, stored as adjacency
+// lists only — no per-edge map, so a 100k-node power-law graph carries no
+// hashing overhead. Duplicate detection scans the lower-degree endpoint's
+// adjacency list, which is O(min degree) — constant for the sparse graphs
+// of the study. The zero value is an empty graph; grow it with
+// AddNode/AddEdge.
 type Graph struct {
-	n     int
-	adj   [][]NodeID
-	edges map[Edge]bool
+	n   int
+	adj [][]NodeID
+	m   int
+	// edgeCache memoizes the sorted edge list built by Edges. AddEdge
+	// invalidates it by replacing it with nil — never by mutating it — so
+	// slices returned by earlier Edges calls stay valid snapshots.
+	edgeCache []Edge
 }
 
 // NewGraph returns a graph with n isolated nodes.
 func NewGraph(n int) *Graph {
-	g := &Graph{edges: make(map[Edge]bool)}
-	for i := 0; i < n; i++ {
-		g.AddNode()
-	}
-	return g
+	return &Graph{n: n, adj: make([][]NodeID, n)}
 }
 
 // Len returns the number of nodes.
 func (g *Graph) Len() int { return g.n }
 
 // NumEdges returns the number of undirected edges.
-func (g *Graph) NumEdges() int { return len(g.edges) }
+func (g *Graph) NumEdges() int { return g.m }
 
 // AddNode adds an isolated node and returns its ID.
 func (g *Graph) AddNode() NodeID {
 	id := NodeID(g.n)
 	g.n++
 	g.adj = append(g.adj, nil)
-	if g.edges == nil {
-		g.edges = make(map[Edge]bool)
-	}
 	return id
 }
 
@@ -68,17 +74,54 @@ func (g *Graph) AddEdge(a, b NodeID) {
 	if !g.valid(a) || !g.valid(b) {
 		panic(fmt.Sprintf("topology: edge {%d,%d} out of range (n=%d)", a, b, g.n))
 	}
-	e := NewEdge(a, b)
-	if g.edges[e] {
+	if g.scanEdge(a, b) {
 		return
 	}
-	g.edges[e] = true
+	g.addEdgeUnchecked(a, b)
+}
+
+// AddEdgeUnique is AddEdge without the duplicate scan, for generators that
+// construct each edge exactly once. Adding a duplicate through it corrupts
+// the edge count; self-loops and out-of-range nodes still panic.
+func (g *Graph) AddEdgeUnique(a, b NodeID) {
+	if a == b {
+		panic(fmt.Sprintf("topology: self-loop at node %d", a))
+	}
+	if !g.valid(a) || !g.valid(b) {
+		panic(fmt.Sprintf("topology: edge {%d,%d} out of range (n=%d)", a, b, g.n))
+	}
+	g.addEdgeUnchecked(a, b)
+}
+
+func (g *Graph) addEdgeUnchecked(a, b NodeID) {
 	g.adj[a] = append(g.adj[a], b)
 	g.adj[b] = append(g.adj[b], a)
+	g.m++
+	g.edgeCache = nil
+}
+
+// scanEdge reports whether {a, b} exists by scanning the lower-degree
+// endpoint's adjacency list.
+func (g *Graph) scanEdge(a, b NodeID) bool {
+	list, want := g.adj[a], b
+	if len(g.adj[b]) < len(list) {
+		list, want = g.adj[b], a
+	}
+	for _, v := range list {
+		if v == want {
+			return true
+		}
+	}
+	return false
 }
 
 // HasEdge reports whether the undirected edge {a, b} exists.
-func (g *Graph) HasEdge(a, b NodeID) bool { return g.edges[NewEdge(a, b)] }
+func (g *Graph) HasEdge(a, b NodeID) bool {
+	if !g.valid(a) || !g.valid(b) {
+		return false
+	}
+	return g.scanEdge(a, b)
+}
 
 // Neighbors returns the neighbors of id in insertion order. The returned
 // slice is owned by the graph and must not be modified.
@@ -87,19 +130,29 @@ func (g *Graph) Neighbors(id NodeID) []NodeID { return g.adj[id] }
 // Degree returns the number of edges incident to id.
 func (g *Graph) Degree(id NodeID) int { return len(g.adj[id]) }
 
-// Edges returns all edges sorted by (A, B).
+// Edges returns all edges sorted by (A, B). The slice is memoized — repeat
+// calls on an unchanged graph are allocation-free — and is invalidated, not
+// mutated, when the graph grows, so callers may keep it as a snapshot but
+// must not modify it.
 func (g *Graph) Edges() []Edge {
-	out := make([]Edge, 0, len(g.edges))
-	for e := range g.edges {
-		out = append(out, e)
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].A != out[j].A {
-			return out[i].A < out[j].A
+	if g.edgeCache == nil {
+		out := make([]Edge, 0, g.m)
+		for u := 0; u < g.n; u++ {
+			for _, v := range g.adj[u] {
+				if v > NodeID(u) {
+					out = append(out, Edge{A: NodeID(u), B: v})
+				}
+			}
 		}
-		return out[i].B < out[j].B
-	})
-	return out
+		sort.Slice(out, func(i, j int) bool {
+			if out[i].A != out[j].A {
+				return out[i].A < out[j].A
+			}
+			return out[i].B < out[j].B
+		})
+		g.edgeCache = out
+	}
+	return g.edgeCache
 }
 
 func (g *Graph) valid(id NodeID) bool { return id >= 0 && int(id) < g.n }
@@ -127,10 +180,10 @@ func (g *Graph) BFS(src NodeID) []int {
 		dist[i] = -1
 	}
 	dist[src] = 0
-	queue := []NodeID{src}
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
+	queue := make([]NodeID, 1, g.n)
+	queue[0] = src
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
 		for _, v := range g.adj[u] {
 			if dist[v] < 0 {
 				dist[v] = dist[u] + 1
@@ -165,7 +218,8 @@ func (g *Graph) ShortestPath(src, dst NodeID) ([]NodeID, bool) {
 }
 
 // Diameter returns the longest shortest-path distance over all node pairs.
-// It returns -1 for a disconnected or empty graph.
+// It returns -1 for a disconnected or empty graph. All-pairs BFS: use
+// CSR.EstimateDiameter for large graphs.
 func (g *Graph) Diameter() int {
 	if g.n == 0 {
 		return -1
@@ -189,16 +243,55 @@ func (g *Graph) Diameter() int {
 func (g *Graph) DegreeHistogram() map[int]int {
 	h := make(map[int]int)
 	for i := 0; i < g.n; i++ {
-		h[g.Degree(NodeID(i))]++
+		h[len(g.adj[i])]++
 	}
 	return h
 }
 
+// DegreeCounts appends every node's degree, in node-ID order, to buf
+// (reset to length zero first) and returns it. Passing the previous result
+// back in makes repeat calls allocation-free.
+func (g *Graph) DegreeCounts(buf []int) []int {
+	buf = buf[:0]
+	if cap(buf) < g.n {
+		buf = make([]int, 0, g.n)
+	}
+	for i := 0; i < g.n; i++ {
+		buf = append(buf, len(g.adj[i]))
+	}
+	return buf
+}
+
+// MinDegreeNodes returns every node of minimum degree, in ascending ID
+// order. Topology specs use it as the default host-attachment set: in a
+// power-law graph these are the stub leaves, in a fat-tree the edge
+// switches.
+func (g *Graph) MinDegreeNodes() []NodeID {
+	if g.n == 0 {
+		return nil
+	}
+	min := len(g.adj[0])
+	for i := 1; i < g.n; i++ {
+		if d := len(g.adj[i]); d < min {
+			min = d
+		}
+	}
+	var out []NodeID
+	for i := 0; i < g.n; i++ {
+		if len(g.adj[i]) == min {
+			out = append(out, NodeID(i))
+		}
+	}
+	return out
+}
+
 // Clone returns a deep copy of the graph.
 func (g *Graph) Clone() *Graph {
-	c := NewGraph(g.n)
-	for e := range g.edges {
-		c.AddEdge(e.A, e.B)
+	c := &Graph{n: g.n, m: g.m, adj: make([][]NodeID, len(g.adj)), edgeCache: g.edgeCache}
+	for i, row := range g.adj {
+		if len(row) > 0 {
+			c.adj[i] = append(make([]NodeID, 0, len(row)), row...)
+		}
 	}
 	return c
 }

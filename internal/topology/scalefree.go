@@ -1,0 +1,142 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// BarabasiAlbert returns a Barabási–Albert preferential-attachment graph on
+// n nodes: growth starts from an (m+1)-clique and every subsequent node
+// attaches to m distinct existing nodes chosen with probability
+// proportional to their degree. The result is connected with a power-law
+// degree distribution (exponent ≈ 3), deterministic in seed. Panics when
+// n < m+1 or m < 1.
+func BarabasiAlbert(n, m int, seed int64) *Graph {
+	if m < 1 || n < m+1 {
+		panic(fmt.Sprintf("topology: BarabasiAlbert needs n ≥ m+1 ≥ 2, got n=%d m=%d", n, m))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := NewGraph(n)
+	// endpoints lists every edge endpoint once; drawing uniformly from it is
+	// exactly degree-proportional sampling.
+	endpoints := make([]NodeID, 0, 2*(m*(m+1)/2+(n-m-1)*m))
+	for i := 0; i <= m; i++ {
+		for j := i + 1; j <= m; j++ {
+			g.AddEdgeUnique(NodeID(i), NodeID(j))
+			endpoints = append(endpoints, NodeID(i), NodeID(j))
+		}
+	}
+	targets := make([]NodeID, 0, m)
+	for v := m + 1; v < n; v++ {
+		targets = targets[:0]
+		for len(targets) < m {
+			t := endpoints[rng.Intn(len(endpoints))]
+			if !containsNode(targets, t) {
+				targets = append(targets, t)
+			}
+		}
+		for _, t := range targets {
+			g.AddEdgeUnique(NodeID(v), t)
+			endpoints = append(endpoints, NodeID(v), t)
+		}
+	}
+	return g
+}
+
+// GLPDefaultP and GLPDefaultBeta are the parameters fitted to measured AS
+// graphs by Bu & Towsley, "On Distinguishing between Internet Power Law
+// Topology Generators" (INFOCOM 2002).
+const (
+	GLPDefaultP    = 0.4695
+	GLPDefaultBeta = 0.6447
+)
+
+// GLP returns a Generalized Linear Preference power-law graph on n nodes
+// (Bu–Towsley). Growth starts from an (m+1)-clique; each step either adds m
+// new links between existing nodes (probability p) or adds a new node with
+// m links. Endpoints are chosen with probability proportional to d − beta,
+// where beta < 1 tilts preference toward high-degree nodes and yields the
+// heavier-tailed degree distributions (exponent ≈ 2.2) of measured AS
+// graphs. Connected and deterministic in seed. Panics when n < m+1, m < 1,
+// p outside [0, 1), or beta ≥ 1.
+func GLP(n, m int, p, beta float64, seed int64) *Graph {
+	if m < 1 || n < m+1 {
+		panic(fmt.Sprintf("topology: GLP needs n ≥ m+1 ≥ 2, got n=%d m=%d", n, m))
+	}
+	if p < 0 || p >= 1 {
+		panic(fmt.Sprintf("topology: GLP needs 0 ≤ p < 1, got p=%g", p))
+	}
+	if beta >= 1 {
+		panic(fmt.Sprintf("topology: GLP needs beta < 1, got beta=%g", beta))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := &Graph{}
+	for i := 0; i <= m; i++ {
+		g.AddNode()
+	}
+	for i := 0; i <= m; i++ {
+		for j := i + 1; j <= m; j++ {
+			g.AddEdgeUnique(NodeID(i), NodeID(j))
+		}
+	}
+	for g.Len() < n {
+		if rng.Float64() < p {
+			// Add m links between existing nodes. On a small dense graph a
+			// free pair may not exist; give up after a bounded number of
+			// draws rather than spinning.
+			for i := 0; i < m; i++ {
+				for try := 0; try < 64; try++ {
+					a := glpPick(g, rng, beta)
+					b := glpPick(g, rng, beta)
+					if a != b && !g.HasEdge(a, b) {
+						g.AddEdgeUnique(a, b)
+						break
+					}
+				}
+			}
+		} else {
+			v := g.AddNode()
+			for i := 0; i < m; i++ {
+				for try := 0; try < 64; try++ {
+					t := glpPick(g, rng, beta)
+					if t != v && !g.HasEdge(v, t) {
+						g.AddEdgeUnique(v, t)
+						break
+					}
+				}
+			}
+		}
+	}
+	return g
+}
+
+// glpPick samples a node with probability proportional to degree − beta,
+// by uniform candidate draw plus rejection. Degree-0 candidates (a new node
+// before its first link) are skipped, so d − beta > 0 always holds.
+func glpPick(g *Graph, rng *rand.Rand, beta float64) NodeID {
+	// Acceptance is (d − beta) / (d · boost); boost ≥ 1 keeps it ≤ 1 for
+	// negative beta, where d − beta > d.
+	boost := 1.0
+	if beta < 0 {
+		boost = 1 - beta
+	}
+	for {
+		v := NodeID(rng.Intn(g.Len()))
+		d := float64(g.Degree(v))
+		if d == 0 {
+			continue
+		}
+		if rng.Float64()*d*boost < d-beta {
+			return v
+		}
+	}
+}
+
+func containsNode(s []NodeID, v NodeID) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

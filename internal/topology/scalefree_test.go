@@ -1,0 +1,138 @@
+package topology
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+func graphsEqual(a, b *Graph) bool {
+	if a.Len() != b.Len() || a.NumEdges() != b.NumEdges() {
+		return false
+	}
+	ea, eb := a.Edges(), b.Edges()
+	for i := range ea {
+		if ea[i] != eb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestBarabasiAlbertDeterministic(t *testing.T) {
+	a := BarabasiAlbert(500, 2, 42)
+	b := BarabasiAlbert(500, 2, 42)
+	if !graphsEqual(a, b) {
+		t.Fatal("same seed produced different graphs")
+	}
+	c := BarabasiAlbert(500, 2, 43)
+	if graphsEqual(a, c) {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func TestBarabasiAlbertStructure(t *testing.T) {
+	const n, m = 2000, 2
+	g := BarabasiAlbert(n, m, 1)
+	if g.Len() != n {
+		t.Fatalf("Len = %d, want %d", g.Len(), n)
+	}
+	// (m+1)-clique seed contributes m(m+1)/2 edges; every later node adds
+	// up to m (fewer only if rejection sampling exhausts, which must not
+	// happen at this size).
+	want := m*(m+1)/2 + (n-m-1)*m
+	if g.NumEdges() != want {
+		t.Fatalf("NumEdges = %d, want %d", g.NumEdges(), want)
+	}
+	if !g.Connected() {
+		t.Fatal("BA graph disconnected")
+	}
+	for i := 0; i < g.Len(); i++ {
+		if g.Degree(NodeID(i)) < m {
+			t.Fatalf("node %d has degree %d < m", i, g.Degree(NodeID(i)))
+		}
+	}
+}
+
+// TestBarabasiAlbertPowerLaw checks the degree distribution is heavy-tailed
+// with an exponent in the scale-free range. The estimator is the standard
+// continuous MLE alpha = 1 + n/sum(ln(d/dmin)); BA's theoretical exponent
+// is 3, and finite-size runs land well inside (2, 4).
+func TestBarabasiAlbertPowerLaw(t *testing.T) {
+	g := BarabasiAlbert(20000, 2, 7)
+	counts := g.DegreeCounts(nil)
+	dmin := 2.0
+	sum, n := 0.0, 0
+	maxDeg := 0
+	for _, d := range counts {
+		if d > maxDeg {
+			maxDeg = d
+		}
+		if float64(d) >= dmin {
+			sum += math.Log(float64(d) / dmin)
+			n++
+		}
+	}
+	alpha := 1 + float64(n)/sum
+	if alpha < 2 || alpha > 4 {
+		t.Errorf("degree exponent alpha = %.2f, want in (2, 4)", alpha)
+	}
+	// The tail must actually be heavy: the hub degree dwarfs the mean.
+	if maxDeg < 100 {
+		t.Errorf("max degree = %d, expected a hub >= 100 on 20k nodes", maxDeg)
+	}
+}
+
+func TestGLPDeterministicAndConnected(t *testing.T) {
+	a := GLP(1000, 2, GLPDefaultP, GLPDefaultBeta, 9)
+	b := GLP(1000, 2, GLPDefaultP, GLPDefaultBeta, 9)
+	if !graphsEqual(a, b) {
+		t.Fatal("same seed produced different GLP graphs")
+	}
+	if !a.Connected() {
+		t.Fatal("GLP graph disconnected")
+	}
+	if a.Len() != 1000 {
+		t.Fatalf("Len = %d", a.Len())
+	}
+	// The p-probability internal-link step makes GLP denser than pure
+	// node-addition at the same m.
+	if a.NumEdges() <= 999 {
+		t.Fatalf("NumEdges = %d, want > tree density", a.NumEdges())
+	}
+}
+
+func TestGLPHeavyTail(t *testing.T) {
+	g := GLP(10000, 2, GLPDefaultP, GLPDefaultBeta, 3)
+	maxDeg := 0
+	for _, d := range g.DegreeCounts(nil) {
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	if maxDeg < 50 {
+		t.Errorf("max degree = %d, expected a hub >= 50 on 10k nodes", maxDeg)
+	}
+}
+
+func TestMinDegreeNodes(t *testing.T) {
+	g := BarabasiAlbert(200, 2, 1)
+	mins := g.MinDegreeNodes()
+	if len(mins) == 0 {
+		t.Fatal("no min-degree nodes")
+	}
+	minDeg := g.Degree(mins[0])
+	for i := 0; i < g.Len(); i++ {
+		if g.Degree(NodeID(i)) < minDeg {
+			t.Fatalf("node %d degree %d below reported min %d", i, g.Degree(NodeID(i)), minDeg)
+		}
+	}
+	if !sort.SliceIsSorted(mins, func(i, j int) bool { return mins[i] < mins[j] }) {
+		t.Error("MinDegreeNodes not ascending")
+	}
+	for _, id := range mins {
+		if g.Degree(id) != minDeg {
+			t.Errorf("node %d degree %d != min %d", id, g.Degree(id), minDeg)
+		}
+	}
+}

@@ -58,6 +58,12 @@ type Collector struct {
 	net      *netsim.Network
 	src, dst netsim.NodeID
 
+	// compact drops the per-event RouteChanges record, keeping only the
+	// count and the time of the last change (see SetCompact).
+	compact         bool
+	routeChangeN    int
+	lastRouteChange time.Duration
+
 	RouteChanges []RouteChange
 	PathHistory  []PathSample
 	Deliveries   []Delivery
@@ -71,6 +77,18 @@ func NewCollector(src, dst netsim.NodeID) *Collector {
 	return &Collector{src: src, dst: dst}
 }
 
+// SetCompact, called before the simulation starts, stops the collector from
+// recording individual RouteChanges; only their count and the time of the
+// last one are kept, which is all RoutingConvergence needs. A converging
+// 10k-node network generates ~10⁸ route changes — gigabytes of records —
+// so bulk trial runs (core.Run) use compact mode, while tracing keeps the
+// full record. Path sampling, deliveries and drops are unaffected.
+func (c *Collector) SetCompact(on bool) { c.compact = on }
+
+// NumRouteChanges returns the number of route changes observed, in either
+// mode.
+func (c *Collector) NumRouteChanges() int { return c.routeChangeN }
+
 // SetNetwork binds the collector to the network it observes. Required
 // before any event fires, because path sampling walks the network's
 // forwarding tables.
@@ -81,7 +99,11 @@ func (c *Collector) Flow() (src, dst netsim.NodeID) { return c.src, c.dst }
 
 // RouteChanged implements netsim.Observer.
 func (c *Collector) RouteChanged(at time.Duration, node, dst, nextHop netsim.NodeID, removed bool) {
-	c.RouteChanges = append(c.RouteChanges, RouteChange{At: at, Node: node, Dst: dst, NextHop: nextHop, Removed: removed})
+	c.routeChangeN++
+	c.lastRouteChange = at
+	if !c.compact {
+		c.RouteChanges = append(c.RouteChanges, RouteChange{At: at, Node: node, Dst: dst, NextHop: nextHop, Removed: removed})
+	}
 	if dst == c.dst {
 		c.SamplePath()
 	}
@@ -149,6 +171,14 @@ func (c *Collector) lastSample() *PathSample {
 // failure at failAt: the time from failAt to the last routing table change
 // anywhere in the network. It returns 0 when nothing changed after failAt.
 func (c *Collector) RoutingConvergence(failAt time.Duration) time.Duration {
+	if c.compact {
+		// Simulation time is monotone, so the overall last change is after
+		// failAt exactly when it is the last change ≥ failAt.
+		if c.lastRouteChange >= failAt && c.lastRouteChange > 0 {
+			return c.lastRouteChange - failAt
+		}
+		return 0
+	}
 	var last time.Duration
 	for _, rc := range c.RouteChanges {
 		if rc.At >= failAt && rc.At > last {

@@ -5,8 +5,10 @@
 // The library bundles a deterministic discrete-event packet-level network
 // simulator, four routing protocols from the paper (RIP, Distributed
 // Bellman-Ford, BGP and the fast-MRAI BGP3) plus a link-state extension,
-// the Baran-style regular mesh topology family, and an experiment harness
-// that reproduces every figure of the paper's evaluation.
+// the Baran-style regular mesh topology family plus internet-scale
+// generators (power-law AS graphs, fat-tree/Clos fabrics, edge-list
+// import), and an experiment harness that reproduces every figure of the
+// paper's evaluation.
 //
 // The minimal use is three lines:
 //
@@ -148,6 +150,33 @@ func SmallWorld(n, k int, beta float64, seed int64) *Graph {
 func RandomTopology(n, avgDegree int, seed int64) *Graph {
 	return topology.Random(n, avgDegree, seed)
 }
+
+// BarabasiAlbert returns an n-node preferential-attachment power-law graph
+// with m links per new node — the classic scale-free AS-graph model.
+func BarabasiAlbert(n, m int, seed int64) *Graph {
+	return topology.BarabasiAlbert(n, m, seed)
+}
+
+// GLP returns an n-node generalized-linear-preference power-law graph
+// (Bu–Towsley), which matches measured AS-graph degree exponents more
+// closely than plain preferential attachment. Use topology.GLPDefaultP and
+// topology.GLPDefaultBeta for the published parameter fit.
+func GLP(n, m int, p, beta float64, seed int64) *Graph {
+	return topology.GLP(n, m, p, beta, seed)
+}
+
+// FatTree is a k-ary fat-tree data-center fabric with layer membership
+// exposed; its Graph field plugs into Config.Topology.
+type FatTree = topology.FatTree
+
+// NewFatTree builds the k-ary fat-tree (k even): (k/2)² cores, k pods of
+// k/2 aggregation and k/2 edge switches, (k/2)² equal-cost paths between
+// edge switches in different pods.
+func NewFatTree(k int) (*FatTree, error) { return topology.NewFatTree(k) }
+
+// LeafSpine returns a two-tier leaf-spine fabric: every leaf connects to
+// every spine.
+func LeafSpine(spines, leaves int) *Graph { return topology.LeafSpine(spines, leaves) }
 
 // DefaultConfig returns the paper's §5 experiment parameters: a 7×7 mesh,
 // 10 Mbps / 1 ms links with 20-packet queues and 50 ms failure detection, a
