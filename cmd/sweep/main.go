@@ -52,6 +52,8 @@ func run(ctx context.Context, args []string) error {
 		toposFlag     = fs.String("topos", "", "semicolon-separated topology specs, e.g. ba:n=10000,m=2;fattree:k=8")
 		trials        = fs.Int("trials", 20, "trials per cell (paper: 100)")
 		seed          = fs.Int64("seed", 1, "base random seed")
+		flowsFlag     = fs.String("flows", "", "flow counts as an extra axis, e.g. 1,100,10000 (default: the base config's single flow)")
+		mode          = fs.String("mode", "", "background-flow traffic engine for every cell: packet, fluid, hybrid")
 		outDir        = fs.String("out", filepath.Join("results", "sweep"), "output directory (summary, manifest, journal)")
 		cacheDir      = fs.String("cache", "", "result cache directory (default OUT/cache; \"off\" disables)")
 		workers       = fs.Int("workers", 0, "concurrent cells (default GOMAXPROCS)")
@@ -123,6 +125,17 @@ func run(ctx context.Context, args []string) error {
 			Trials:    *trials,
 			Seed:      *seed,
 		}
+	}
+	if *flowsFlag != "" {
+		// Flow counts share the degree-list grammar (lists and ranges).
+		flows, err := sweep.ParseDegrees(*flowsFlag)
+		if err != nil {
+			return fmt.Errorf("bad -flows: %w", err)
+		}
+		spec.Flows = flows
+	}
+	if *mode != "" {
+		spec.Mode = *mode
 	}
 	if *metrics {
 		spec.Metrics = true

@@ -27,19 +27,23 @@ func (m *MeshFlags) Register(fs *flag.FlagSet) {
 }
 
 // ExperimentFlags bundles the experiment-selection flags shared by convsim
-// and tracer: mesh geometry plus protocol and seed.
+// and tracer: mesh geometry plus protocol, seed, and traffic mode.
 type ExperimentFlags struct {
 	MeshFlags
 	Protocol string
 	Seed     int64
+	// Mode is the background-flow traffic engine; empty means packet.
+	Mode string
 }
 
-// Register declares the mesh flags plus -protocol and -seed on fs, using
-// the current field values as defaults.
+// Register declares the mesh flags plus -protocol, -seed and -mode on fs,
+// using the current field values as defaults.
 func (e *ExperimentFlags) Register(fs *flag.FlagSet) {
 	e.MeshFlags.Register(fs)
 	fs.StringVar(&e.Protocol, "protocol", e.Protocol, "routing protocol: rip, dbf, bgp, bgp3, ls")
 	fs.Int64Var(&e.Seed, "seed", e.Seed, "base random seed")
+	fs.StringVar(&e.Mode, "mode", e.Mode,
+		"background-flow traffic engine: packet, fluid, hybrid (flow 0 is always packet-simulated)")
 }
 
 // Config resolves the parsed flags into an experiment configuration:
@@ -54,5 +58,12 @@ func (e *ExperimentFlags) Config() (Config, error) {
 	cfg.Rows, cfg.Cols, cfg.Degree = e.Rows, e.Cols, e.Degree
 	cfg.Topo = e.Topo
 	cfg.Seed = e.Seed
+	if e.Mode != "" {
+		mode, err := ParseTrafficMode(e.Mode)
+		if err != nil {
+			return Config{}, err
+		}
+		cfg.Mode = mode
+	}
 	return cfg, nil
 }

@@ -50,6 +50,50 @@ func (p TrafficPattern) String() string {
 	}
 }
 
+// TrafficMode selects the engine that simulates background flows (every
+// flow after the first; the first flow — the paper's measured probe — is
+// always packet-simulated end to end).
+type TrafficMode int
+
+// Traffic engine modes.
+const (
+	// ModePacket simulates every flow packet-by-packet (the zero value:
+	// the paper's setup and the only mode prior to the hybrid engine).
+	ModePacket TrafficMode = iota
+	// ModeFluid accounts background flows analytically at every epoch,
+	// including the convergence transient (fastest, least faithful).
+	ModeFluid
+	// ModeHybrid accounts background flows analytically on quiescent
+	// epochs but demotes flows whose path crosses a FIB or link change to
+	// real packet sources for a guard window (see GuardWindow).
+	ModeHybrid
+)
+
+// String implements fmt.Stringer.
+func (m TrafficMode) String() string {
+	switch m {
+	case ModePacket:
+		return "packet"
+	case ModeFluid:
+		return "fluid"
+	case ModeHybrid:
+		return "hybrid"
+	default:
+		return fmt.Sprintf("TrafficMode(%d)", int(m))
+	}
+}
+
+// ParseTrafficMode converts a mode name as printed by String back to its
+// value.
+func ParseTrafficMode(s string) (TrafficMode, error) {
+	for _, m := range []TrafficMode{ModePacket, ModeFluid, ModeHybrid} {
+		if m.String() == s {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown traffic mode %q", s)
+}
+
 // ProtocolKind selects the routing protocol under study.
 type ProtocolKind int
 
@@ -155,6 +199,16 @@ type Config struct {
 	// Flows is the number of sender/receiver pairs (paper: 1; >1 is the
 	// §6 future-work extension).
 	Flows int
+	// Mode selects the background-flow traffic engine. The first flow is
+	// always a packet-simulated probe with stub hosts and a collector; in
+	// ModeFluid/ModeHybrid the remaining Flows-1 classes run
+	// router-to-router through the fluid evaluator, which is what makes
+	// millions of flows per trial tractable.
+	Mode TrafficMode
+	// GuardWindow is how long a hybrid-mode flow stays demoted to
+	// packet-level simulation after a forwarding change on its path.
+	// Zero defaults to one second.
+	GuardWindow time.Duration
 	// ExtraFailAts schedules additional failures of random live mesh links
 	// (the §6 multiple-failure extension). Empty for the paper's setup.
 	ExtraFailAts []time.Duration
@@ -277,6 +331,10 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("core: OnMean/OffMean must not be negative")
 	case c.TTL < 1:
 		return fmt.Errorf("core: TTL must be ≥ 1")
+	case c.Mode < ModePacket || c.Mode > ModeHybrid:
+		return fmt.Errorf("core: unknown traffic mode %d", int(c.Mode))
+	case c.GuardWindow < 0:
+		return fmt.Errorf("core: GuardWindow must not be negative")
 	}
 	if c.Factory == nil {
 		if _, err := c.factory(); err != nil {

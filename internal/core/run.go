@@ -241,14 +241,31 @@ func runTrial(cfg *Config, trial int, tl *obs.Timeline, compact bool) (TrialResu
 	}
 	meshEdges := g.Edges() // router links only; host links are added below
 
-	// Attach one stub host pair per flow to random attachment routers.
-	flows := make([]*flow, cfg.Flows)
+	// Attach one stub host pair per packet flow to random attachment
+	// routers. In fluid/hybrid mode only the first flow (the measured
+	// probe) gets hosts and a collector; the other Flows-1 classes run
+	// router-to-router through the fluid evaluator — no stub nodes, no
+	// per-packet events — which is what makes millions of flows viable.
+	// The attachment draws are identical across modes so the probe, the
+	// failure choice, and the warm-up are mode-independent.
+	nPacket := cfg.Flows
+	if cfg.Mode != ModePacket && nPacket > 1 {
+		nPacket = 1
+	}
+	flows := make([]*flow, nPacket)
+	type fluidPair struct{ src, dst netsim.NodeID }
+	fluidPairs := make([]fluidPair, 0, cfg.Flows-nPacket)
 	var observers multiObserver
-	for i := range flows {
-		f := &flow{
-			srcRouter: senderRouters[s.Rand().Intn(len(senderRouters))],
-			dstRouter: receiverRouters[s.Rand().Intn(len(receiverRouters))],
+	for i := 0; i < cfg.Flows; i++ {
+		srcRouter := senderRouters[s.Rand().Intn(len(senderRouters))]
+		dstRouter := receiverRouters[s.Rand().Intn(len(receiverRouters))]
+		if i >= nPacket {
+			if srcRouter != dstRouter {
+				fluidPairs = append(fluidPairs, fluidPair{srcRouter, dstRouter})
+			}
+			continue
 		}
+		f := &flow{srcRouter: srcRouter, dstRouter: dstRouter}
 		f.srcHost = g.AddNode()
 		f.dstHost = g.AddNode()
 		g.AddEdge(f.srcHost, f.srcRouter)
@@ -261,6 +278,31 @@ func runTrial(cfg *Config, trial int, tl *obs.Timeline, compact bool) (TrialResu
 
 	net := netsim.FromGraph(s, g, cfg.Net, observers)
 	net.Instrument(met, tl)
+	var flowSet *netsim.FlowSet
+	if len(fluidPairs) > 0 {
+		flowSet = net.AttachFlows(netsim.FlowSetConfig{
+			Start:       cfg.SenderStart,
+			Stop:        cfg.End,
+			GuardWindow: cfg.GuardWindow,
+			Hybrid:      cfg.Mode == ModeHybrid,
+		})
+		interval := cfg.PacketInterval
+		if cfg.Traffic == TrafficOnOff {
+			// The fluid evaluator models an on/off class as CBR at its
+			// long-run mean rate: interval scaled by the duty cycle.
+			on, off := cfg.OnMean, cfg.OffMean
+			if on <= 0 {
+				on = time.Second
+			}
+			if off <= 0 {
+				off = time.Second
+			}
+			interval = time.Duration(int64(interval) * int64(on+off) / int64(on))
+		}
+		for _, p := range fluidPairs {
+			flowSet.Add(p.src, p.dst, interval, cfg.PacketSize, cfg.TTL)
+		}
+	}
 	for _, f := range flows {
 		f.collector.SetNetwork(net)
 	}
@@ -369,6 +411,9 @@ func runTrial(cfg *Config, trial int, tl *obs.Timeline, compact bool) (TrialResu
 	}
 
 	s.RunUntil(cfg.End)
+	if flowSet != nil {
+		flowSet.Finish() // settle the fluid tail before reading stats
+	}
 	met.Set(obs.EventsFired, s.Fired())
 	tl.Finish(cfg.FailAt)
 

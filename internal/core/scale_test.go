@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"os"
 	"runtime/debug"
 	"strconv"
@@ -68,5 +69,89 @@ func TestScaleSmoke10kBA(t *testing.T) {
 	}
 	if wall > budget {
 		t.Errorf("trial took %.1fs, over the %.0fs budget — a scale regression", wall.Seconds(), budget.Seconds())
+	}
+}
+
+// TestHybridSmoke1M is the hybrid traffic engine's scale smoke: the same
+// 10k-node BA convergence trial as TestScaleSmoke10kBA, but carrying one
+// million background flows through the fluid evaluator (the probe stays
+// packet-simulated). The point of the tentpole is that flow count no
+// longer multiplies event count, so this must finish in the same order of
+// wall time as the single-flow smoke. Gated behind SCALE_SMOKE=1; budget
+// override and BENCH_OUT (write a BENCH-style JSON fragment) as in CI.
+func TestHybridSmoke1M(t *testing.T) {
+	if os.Getenv("SCALE_SMOKE") != "1" {
+		t.Skip("set SCALE_SMOKE=1 to run the 1M-flow hybrid smoke")
+	}
+	budget := 60 * time.Second
+	if s := os.Getenv("SCALE_SMOKE_BUDGET_SECONDS"); s != "" {
+		secs, err := strconv.Atoi(s)
+		if err != nil {
+			t.Fatalf("bad SCALE_SMOKE_BUDGET_SECONDS %q", s)
+		}
+		budget = time.Duration(secs) * time.Second
+	}
+
+	cfg := DefaultConfig()
+	cfg.Protocol = ProtoRIP
+	cfg.Topo = "ba:n=10000,m=2,seed=1"
+	cfg.Trials = 1
+	cfg.Flows = 1_000_000
+	cfg.Mode = ModeHybrid
+	// A wide guard would re-emit hundreds of thousands of flows as packet
+	// sources on every convergence wave; half a second bounds the burst
+	// while still covering the micro-loop window the paper measures.
+	cfg.GuardWindow = 500 * time.Millisecond
+	// Per-flow rate is scaled down so a million classes model a realistic
+	// aggregate instead of 20M pps: one packet per 2 s each.
+	cfg.PacketInterval = 2 * time.Second
+	cfg.SenderStart = 12 * time.Second
+	cfg.FailAt = 15 * time.Second
+	cfg.End = 25 * time.Second
+	cfg.Metrics = true
+	cfg.Vector.PeriodicInterval = 600 * time.Second
+	cfg.Vector.PeriodicJitter = time.Second
+	cfg.Vector.DampMin = 500 * time.Millisecond
+	cfg.Vector.DampMax = time.Second
+	cfg.Vector.MaxEntries = 5000
+	cfg.Vector.Infinity = 24
+
+	defer debug.SetGCPercent(debug.SetGCPercent(400))
+
+	start := time.Now()
+	res, err := Run(cfg)
+	wall := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Trials[0].Metrics
+	t.Logf("1M-flow hybrid 10k-node BA RIP trial: wall=%.2fs delivery=%.4f sent=%d settles=%d demotions=%d reabsorptions=%d",
+		wall.Seconds(), res.DeliveryRatio, res.Trials[0].Sent,
+		m["fluid.settles"], m["fluid.demotions"], m["fluid.reabsorptions"])
+	if res.WarmedUpTrials != 1 {
+		t.Errorf("trial did not warm up: %d/1", res.WarmedUpTrials)
+	}
+	if res.Trials[0].Sent < 4_000_000 {
+		t.Errorf("sent = %d, want ≥ 4M (a million flows × ≥ 4 ticks each)", res.Trials[0].Sent)
+	}
+	if m["fluid.settles"] == 0 {
+		t.Error("fluid.settles = 0 — the fluid engine never engaged")
+	}
+	accounted := m["packets.delivered"] + m["drops.no_route"] +
+		m["drops.ttl_expired"] + m["drops.queue_overflow"] +
+		m["drops.link_failure"] + m["packets.in_flight_end"]
+	if accounted != m["packets.sent"] {
+		t.Errorf("conservation violated at scale: accounted %d, sent %d", accounted, m["packets.sent"])
+	}
+	if wall > budget {
+		t.Errorf("trial took %.1fs, over the %.0fs budget — a hybrid-engine scale regression", wall.Seconds(), budget.Seconds())
+	}
+	if out := os.Getenv("BENCH_OUT"); out != "" {
+		fragment := fmt.Sprintf(`{"hybrid_smoke_1m_flows_10k_ba": {"wall_seconds": %.2f, "flows": %d, "sent": %d, "delivery": %.4f, "settles": %d, "demotions": %d}}`+"\n",
+			wall.Seconds(), cfg.Flows, res.Trials[0].Sent, res.DeliveryRatio,
+			m["fluid.settles"], m["fluid.demotions"])
+		if err := os.WriteFile(out, []byte(fragment), 0o644); err != nil {
+			t.Errorf("BENCH_OUT: %v", err)
+		}
 	}
 }

@@ -1,0 +1,653 @@
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"routeconv/internal/obs"
+	"routeconv/internal/sim"
+)
+
+// This file is the fluid half of the hybrid packet/fluid traffic engine.
+//
+// Between FIB changes the forwarding graph is static, so the fate of a
+// constant-rate flow — delivered, caught in a loop, blackholed, dropped
+// onto a dead link, or queue-limited — is fully determined analytically.
+// A FlowSet registers flow classes in dense slices keyed by node ID and
+// accounts for their packets in bulk at each FIB or link change (lazy
+// settlement): no per-packet events exist for a fluid flow. In hybrid
+// mode, flows whose forwarding path traverses a changed node or failed
+// link are demoted to real packet sources for a guard window around the
+// change, so loops, TTL expiry and queue contention during convergence
+// are still simulated packet-by-packet where the paper measures them.
+
+// Flow fate classes assigned by the fluid evaluator.
+const (
+	fateDelivered uint8 = iota + 1
+	fateNoRoute
+	fateLoop
+	fateLinkDown
+)
+
+// loopHops marks a hop count that always exceeds any TTL.
+const loopHops int32 = 1 << 30
+
+// Flow states.
+const (
+	flowFluid uint8 = iota
+	// flowDemoted flows emit real packets via scheduled ticks until the
+	// guard window expires or the trial ends.
+	flowDemoted
+)
+
+// FlowSetConfig parameterizes a FlowSet.
+type FlowSetConfig struct {
+	// Start and Stop bound the emission window: every flow emits ticks at
+	// Start, Start+interval, ... strictly before Stop.
+	Start, Stop time.Duration
+	// GuardWindow is how long a flow stays demoted to packet-level
+	// simulation after a FIB or link change on its path (hybrid mode).
+	// Zero defaults to one second.
+	GuardWindow time.Duration
+	// Hybrid enables demotion. When false the set is purely fluid: every
+	// epoch is evaluated analytically, including the transient.
+	Hybrid bool
+}
+
+// FluidTotals are the aggregate counters a FlowSet maintains. All packet
+// counts also flow into Network.Stats and the obs counters, so the
+// conservation identity (delivered + drops + in-flight == sent) holds
+// across the packet and fluid engines combined.
+type FluidTotals struct {
+	// Flows is the number of registered flow classes.
+	Flows int
+	// Sent..InFlightEnd count fluid-accounted packets (demoted flows'
+	// packets are real and counted by the packet engine instead).
+	Sent, Delivered uint64
+	Drops           [numDropReasons]uint64
+	// InFlightEnd counts packets emitted close enough to Stop that they
+	// were still on the wire at the final settlement.
+	InFlightEnd uint64
+	// DeliveredBytes and DroppedBytes are byte totals of the above.
+	DeliveredBytes, DroppedBytes uint64
+	// Settles counts group settlements that accounted at least one tick;
+	// Demotions and Reabsorptions count hybrid state transitions.
+	Settles, Demotions, Reabsorptions uint64
+}
+
+// flowGroup indexes the flows sharing one destination: settlement walks
+// the destination's forwarding tree once per epoch, not once per flow.
+type flowGroup struct {
+	dst        NodeID
+	flows      []int32
+	lastSettle time.Duration
+}
+
+// FlowSet is a dense registry of (src, dst, rate, size) flow classes and
+// their fluid evaluator. Attach one to a Network with AttachFlows, Add
+// flows before the traffic window opens, and call Finish at the end of
+// the run to settle the tail.
+type FlowSet struct {
+	net   *Network
+	cfg   FlowSetConfig
+	guard time.Duration
+
+	// Per-flow state, parallel slices indexed by flow.
+	src, dst     []NodeID
+	intervalNs   []int64
+	size         []int32
+	ttl          []int32
+	nextTick     []uint32 // ticks already accounted (fluidly or as packets)
+	maxTicks     []uint32
+	state        []uint8
+	demotedUntil []time.Duration
+	qCarry       []float64 // fractional queue-drop remainder
+
+	// Destination groups. groupOf is dense by destination node ID.
+	groupOf []int32
+	groups  []flowGroup
+
+	// Per-epoch evaluator scratch, presized to NetworkSize: fate/hops are
+	// the per-node memo (valid when memoEpoch matches epoch), visitTag is
+	// the walk's on-stack marker, load/surv the queue-limit passes.
+	epoch     uint32
+	memoEpoch []uint32
+	fate      []uint8
+	hops      []int32
+	visitTag  []uint32
+	visitGen  uint32
+	loadTag   []uint32
+	load      []float64
+	stack     []NodeID
+
+	totals FluidTotals
+}
+
+var _ sim.Handler = (*FlowSet)(nil)
+
+// AttachFlows creates a FlowSet bound to the network and hooks it into
+// the network's FIB- and link-change paths. At most one FlowSet may be
+// attached; call before Start.
+func (n *Network) AttachFlows(cfg FlowSetConfig) *FlowSet {
+	if n.flows != nil {
+		panic("netsim: AttachFlows called twice")
+	}
+	if n.started {
+		panic("netsim: AttachFlows after Start")
+	}
+	if cfg.Stop <= cfg.Start {
+		panic("netsim: FlowSet Stop must be after Start")
+	}
+	fs := &FlowSet{net: n, cfg: cfg, guard: cfg.GuardWindow}
+	if fs.guard <= 0 {
+		fs.guard = time.Second
+	}
+	size := len(n.nodes)
+	fs.groupOf = make([]int32, size)
+	for i := range fs.groupOf {
+		fs.groupOf[i] = -1
+	}
+	fs.memoEpoch = make([]uint32, size)
+	fs.fate = make([]uint8, size)
+	fs.hops = make([]int32, size)
+	fs.visitTag = make([]uint32, size)
+	fs.loadTag = make([]uint32, size)
+	fs.load = make([]float64, size)
+	fs.stack = make([]NodeID, 0, 64)
+	n.flows = fs
+	return fs
+}
+
+// Flows returns the attached FlowSet, or nil.
+func (n *Network) Flows() *FlowSet { return n.flows }
+
+// Add registers one flow class emitting size-byte packets with the given
+// TTL from src to dst every interval, over the set's [Start, Stop)
+// window. Flows must be registered before the window opens.
+func (fs *FlowSet) Add(src, dst NodeID, interval time.Duration, size, ttl int) {
+	if interval <= 0 {
+		panic("netsim: flow interval must be positive")
+	}
+	if src == dst {
+		panic("netsim: flow src == dst")
+	}
+	if int(src) >= len(fs.groupOf) || int(dst) >= len(fs.groupOf) || src < 0 || dst < 0 {
+		panic(fmt.Sprintf("netsim: flow %d->%d outside the network", src, dst))
+	}
+	i := int32(len(fs.src))
+	fs.src = append(fs.src, src)
+	fs.dst = append(fs.dst, dst)
+	fs.intervalNs = append(fs.intervalNs, interval.Nanoseconds())
+	fs.size = append(fs.size, int32(size))
+	fs.ttl = append(fs.ttl, int32(ttl))
+	fs.nextTick = append(fs.nextTick, 0)
+	window := (fs.cfg.Stop - fs.cfg.Start).Nanoseconds()
+	fs.maxTicks = append(fs.maxTicks, uint32((window+interval.Nanoseconds()-1)/interval.Nanoseconds()))
+	fs.state = append(fs.state, flowFluid)
+	fs.demotedUntil = append(fs.demotedUntil, 0)
+	fs.qCarry = append(fs.qCarry, 0)
+	gi := fs.groupOf[dst]
+	if gi < 0 {
+		gi = int32(len(fs.groups))
+		fs.groupOf[dst] = gi
+		fs.groups = append(fs.groups, flowGroup{dst: dst})
+	}
+	fs.groups[gi].flows = append(fs.groups[gi].flows, i)
+	fs.totals.Flows++
+}
+
+// Len returns the number of registered flow classes.
+func (fs *FlowSet) Len() int { return len(fs.src) }
+
+// Totals returns the set's aggregate counters.
+func (fs *FlowSet) Totals() FluidTotals { return fs.totals }
+
+// tickTime returns the emission time of flow i's k-th tick.
+func (fs *FlowSet) tickTime(i int32, k uint32) time.Duration {
+	return fs.cfg.Start + time.Duration(int64(k)*fs.intervalNs[i])
+}
+
+// ticksBefore returns how many of flow i's ticks fall strictly before t,
+// clamped to the emission window.
+func (fs *FlowSet) ticksBefore(i int32, t time.Duration) uint32 {
+	if t <= fs.cfg.Start {
+		return 0
+	}
+	if t >= fs.cfg.Stop {
+		return fs.maxTicks[i]
+	}
+	n := (t.Nanoseconds() - fs.cfg.Start.Nanoseconds() + fs.intervalNs[i] - 1) / fs.intervalNs[i]
+	if m := int64(fs.maxTicks[i]); n > m {
+		n = m
+	}
+	return uint32(n)
+}
+
+// fibChanged is invoked by Node.SetRoute/ClearRoute/SetMultipath before
+// the mutation lands: traffic accrued since the last settlement is
+// accounted against the forwarding graph that actually carried it.
+func (fs *FlowSet) fibChanged(node, dst NodeID) {
+	if int(dst) >= len(fs.groupOf) || dst < 0 {
+		return // host stub added after attach; never a fluid destination
+	}
+	gi := fs.groupOf[dst]
+	if gi < 0 {
+		return
+	}
+	now := fs.net.sim.Now()
+	g := &fs.groups[gi]
+	fs.settleGroup(g, now)
+	if fs.cfg.Hybrid && now >= fs.cfg.Start-fs.guard && now < fs.cfg.Stop {
+		fs.demoteThrough(g, now, node, -1)
+	}
+}
+
+// linkChanged is invoked by Network.FailLink/RestoreLink before the
+// link's state flips. A link event can reroute any destination, so every
+// group settles; in hybrid mode flows whose path crosses the link demote.
+func (fs *FlowSet) linkChanged(a, b NodeID) {
+	now := fs.net.sim.Now()
+	demote := fs.cfg.Hybrid && now >= fs.cfg.Start-fs.guard && now < fs.cfg.Stop
+	for gi := range fs.groups {
+		g := &fs.groups[gi]
+		fs.settleGroup(g, now)
+		if demote {
+			fs.demoteThrough(g, now, a, b)
+		}
+	}
+}
+
+// settleGroup accounts every tick the group's fluid flows emitted in
+// [lastSettle, now) against the current forwarding graph. The walk memo
+// makes the group cost O(flows + nodes visited), and the scratch is
+// preallocated, so steady-state settlement allocates nothing.
+func (fs *FlowSet) settleGroup(g *flowGroup, now time.Duration) {
+	if g.lastSettle >= now {
+		return
+	}
+	g.lastSettle = now
+	if now <= fs.cfg.Start || len(g.flows) == 0 {
+		return
+	}
+	final := now >= fs.cfg.Stop
+	fs.beginEpoch()
+
+	// Queue-limit pass: only when the group alone can oversubscribe a
+	// link does the delivered fraction drop below 1. Cross-group
+	// contention surfaces through the packet layer during demotion
+	// windows; see DESIGN.md.
+	var totalBps float64
+	for _, i := range g.flows {
+		totalBps += float64(fs.size[i]) * 8e9 / float64(fs.intervalNs[i])
+	}
+	limited := totalBps > float64(fs.net.cfg.LinkRateBps)
+	if limited {
+		fs.visitGen++
+		for _, i := range g.flows {
+			if fs.state[i] != flowFluid || fs.nextTick[i] >= fs.maxTicks[i] {
+				continue
+			}
+			if f, _ := fs.resolve(fs.src[i], g.dst); f == fateDelivered {
+				fs.addLoad(fs.src[i], g.dst, float64(fs.size[i])*8e9/float64(fs.intervalNs[i]))
+			}
+		}
+	}
+
+	worked := false
+	for _, i := range g.flows {
+		if fs.state[i] != flowFluid {
+			continue // demoted: its ticks are real packets
+		}
+		n := fs.ticksBefore(i, now)
+		if n <= fs.nextTick[i] {
+			continue
+		}
+		ticks := uint64(n - fs.nextTick[i])
+		fs.nextTick[i] = n
+		worked = true
+		fate, hops := fs.resolve(fs.src[i], g.dst)
+		if fate == fateDelivered && hops > fs.ttl[i] {
+			fate = fateLoop // path longer than the hop budget
+		}
+		if fate == fateDelivered {
+			delivered := ticks
+			var inflight uint64
+			if final {
+				// Ticks emitted within one path latency of the horizon
+				// were still on the wire at Stop, exactly as the packet
+				// engine would leave them.
+				lat := time.Duration(int64(hops) * fs.net.serialization(int(fs.size[i])).Nanoseconds())
+				lat += time.Duration(hops) * fs.net.cfg.LinkDelay
+				cut := fs.cfg.Stop - lat
+				arrived := fs.ticksBefore(i, cut+1)
+				if arrived < n {
+					inflight = uint64(n - arrived)
+					if inflight > delivered {
+						inflight = delivered
+					}
+					delivered -= inflight
+				}
+			}
+			var qdrops uint64
+			if limited && delivered > 0 {
+				surv := fs.survival(fs.src[i], g.dst)
+				if surv < 1 {
+					exact := float64(delivered)*(1-surv) + fs.qCarry[i]
+					qdrops = uint64(exact)
+					if qdrops > delivered {
+						qdrops = delivered
+					}
+					fs.qCarry[i] = exact - float64(qdrops)
+					delivered -= qdrops
+				}
+			}
+			fs.account(i, ticks, delivered, qdrops, DropQueueOverflow, inflight)
+		} else {
+			var reason DropReason
+			switch fate {
+			case fateNoRoute:
+				reason = DropNoRoute
+			case fateLoop:
+				reason = DropTTLExpired
+			default:
+				reason = DropLinkFailure
+			}
+			fs.account(i, ticks, 0, ticks, reason, 0)
+		}
+	}
+	if worked {
+		fs.totals.Settles++
+		fs.net.met.Inc(obs.FluidSettles)
+	}
+}
+
+// account books one flow's settled ticks into the network counters: sent
+// = delivered + dropped + inflight, keeping the conservation identity
+// exact.
+func (fs *FlowSet) account(i int32, sent, delivered, dropped uint64, reason DropReason, inflight uint64) {
+	net := fs.net
+	size := uint64(fs.size[i])
+	net.stats.DataSent += sent
+	net.met.Add(obs.PacketsSent, sent)
+	net.met.PacketInN(sent)
+	fs.totals.Sent += sent
+	if delivered > 0 {
+		net.stats.DataDelivered += delivered
+		net.met.Add(obs.PacketsDelivered, delivered)
+		fs.totals.Delivered += delivered
+		fs.totals.DeliveredBytes += delivered * size
+		net.met.Add(obs.FluidDeliveredBytes, delivered*size)
+	}
+	if dropped > 0 {
+		net.stats.DataDrops[reason] += dropped
+		net.met.Add(dropCounter[reason], dropped)
+		fs.totals.Drops[reason] += dropped
+		fs.totals.DroppedBytes += dropped * size
+		net.met.Add(obs.FluidDroppedBytes, dropped*size)
+	}
+	net.met.PacketOutN(delivered + dropped)
+	fs.totals.InFlightEnd += inflight
+}
+
+// beginEpoch invalidates the per-node fate memo.
+func (fs *FlowSet) beginEpoch() {
+	fs.epoch++
+	if fs.epoch == 0 {
+		clear(fs.memoEpoch)
+		fs.epoch = 1
+	}
+}
+
+// egress mirrors Node.forward's next-hop selection for a packet from
+// flowSrc to dst: ECMP set (hashed by flow), then the FIB entry, then
+// the backup chain when the primary is unusable. pure reports whether
+// the choice is flow-independent, and thus memoizable.
+func (fs *FlowSet) egress(nd *Node, flowSrc, dst NodeID) (next NodeID, linkUp bool, pure bool) {
+	pure = true
+	if nd.multi != nil {
+		if set := nd.multi[dst]; len(set) > 1 {
+			pure = false
+			start := flowHash(flowSrc, dst, len(set))
+			for i := range set {
+				nh := set[(start+i)%len(set)]
+				if mp := nd.portTo(nh); mp != nil && !mp.link.down {
+					return nh, true, false
+				}
+			}
+		}
+	}
+	var p *port
+	next = nd.fibGet(dst)
+	if next != noRoute {
+		p = nd.portTo(next)
+	}
+	if p == nil || p.link.down {
+		if nd.backup != nil {
+			for _, alt := range nd.backup[dst] {
+				if ap := nd.portTo(alt); ap != nil && !ap.link.down {
+					return alt, true, pure
+				}
+			}
+		}
+	}
+	if p == nil {
+		return noRoute, false, pure
+	}
+	return next, !p.link.down, pure
+}
+
+// resolve walks the forwarding graph from `from` toward dst and returns
+// the flow's fate plus the hop count to the destination (meaningful only
+// for fateDelivered). Results for flow-independent nodes are memoized
+// for the current epoch.
+func (fs *FlowSet) resolve(from, dst NodeID) (uint8, int32) {
+	e := fs.epoch
+	fs.visitGen++
+	if fs.visitGen == 0 {
+		clear(fs.visitTag)
+		fs.visitGen = 1
+	}
+	gen := fs.visitGen
+	stack := fs.stack[:0]
+	lastImpure := -1
+	var tFate uint8
+	var tHops int32
+	cur := from
+	for {
+		if cur == dst {
+			tFate, tHops = fateDelivered, 0
+			break
+		}
+		if fs.memoEpoch[cur] == e {
+			tFate, tHops = fs.fate[cur], fs.hops[cur]
+			break
+		}
+		if fs.visitTag[cur] == gen {
+			tFate, tHops = fateLoop, loopHops
+			break
+		}
+		nd := fs.net.nodes[cur]
+		next, up, pure := fs.egress(nd, from, dst)
+		if !pure {
+			lastImpure = len(stack)
+		}
+		fs.visitTag[cur] = gen
+		stack = append(stack, cur)
+		if next == noRoute {
+			tFate, tHops = fateNoRoute, 0
+			break
+		}
+		if !up {
+			tFate, tHops = fateLinkDown, 0
+			break
+		}
+		cur = next
+	}
+	fs.stack = stack // keep any ring growth
+	h := tHops
+	for j := len(stack) - 1; j >= 0; j-- {
+		if tFate == fateDelivered && h < loopHops {
+			h++
+		}
+		if j > lastImpure {
+			u := stack[j]
+			fs.memoEpoch[u] = e
+			fs.fate[u] = tFate
+			fs.hops[u] = h
+		}
+	}
+	if tFate == fateDelivered {
+		return tFate, tHops + int32(len(stack))
+	}
+	return tFate, h
+}
+
+// addLoad walks a delivered flow's path adding its bit rate to every
+// transmitting node (queue-limit pass one). Callers bump visitGen first.
+func (fs *FlowSet) addLoad(from, dst NodeID, bps float64) {
+	cur := from
+	for cur != dst {
+		if fs.loadTag[cur] != fs.epoch {
+			fs.loadTag[cur] = fs.epoch
+			fs.load[cur] = 0
+		}
+		fs.load[cur] += bps
+		next, up, _ := fs.egress(fs.net.nodes[cur], from, dst)
+		if next == noRoute || !up {
+			return
+		}
+		cur = next
+	}
+}
+
+// survival walks a delivered flow's path and returns the product of
+// per-link acceptance ratios min(1, capacity/offered) — the fluid
+// analogue of tail-drop queue overflow (queue-limit pass two).
+func (fs *FlowSet) survival(from, dst NodeID) float64 {
+	capacity := float64(fs.net.cfg.LinkRateBps)
+	s := 1.0
+	cur := from
+	for cur != dst {
+		if fs.loadTag[cur] == fs.epoch && fs.load[cur] > capacity {
+			s *= capacity / fs.load[cur]
+		}
+		next, up, _ := fs.egress(fs.net.nodes[cur], from, dst)
+		if next == noRoute || !up {
+			break
+		}
+		cur = next
+	}
+	return s
+}
+
+// demoteThrough demotes the group's fluid flows whose current forwarding
+// walk crosses the changed region: node a (FIB change, b < 0), or the
+// a-b link in either direction (link change).
+func (fs *FlowSet) demoteThrough(g *flowGroup, now time.Duration, a, b NodeID) {
+	for _, i := range g.flows {
+		if fs.state[i] != flowFluid || fs.nextTick[i] >= fs.maxTicks[i] {
+			continue
+		}
+		if fs.pathTouches(fs.src[i], g.dst, a, b) {
+			fs.demote(i, now)
+		}
+	}
+}
+
+// pathTouches reports whether the walk from `from` to dst visits node a
+// (b < 0) or traverses the a-b link in either direction.
+func (fs *FlowSet) pathTouches(from, dst NodeID, a, b NodeID) bool {
+	fs.visitGen++
+	if fs.visitGen == 0 {
+		clear(fs.visitTag)
+		fs.visitGen = 1
+	}
+	gen := fs.visitGen
+	cur := from
+	for cur != dst {
+		if fs.visitTag[cur] == gen {
+			return false // loop not involving the changed region
+		}
+		fs.visitTag[cur] = gen
+		next, up, _ := fs.egress(fs.net.nodes[cur], from, dst)
+		if b < 0 {
+			if cur == a {
+				return true
+			}
+		} else if (cur == a && next == b) || (cur == b && next == a) {
+			return true
+		}
+		if next == noRoute || !up {
+			return false
+		}
+		cur = next
+	}
+	return false
+}
+
+// demote switches a flow to packet emission until now+guard. A flow
+// already demoted has its window extended; otherwise its next tick is
+// scheduled as a real send.
+func (fs *FlowSet) demote(i int32, now time.Duration) {
+	until := now + fs.guard
+	if fs.state[i] == flowDemoted {
+		if until > fs.demotedUntil[i] {
+			fs.demotedUntil[i] = until
+		}
+		return
+	}
+	fs.state[i] = flowDemoted
+	fs.demotedUntil[i] = until
+	fs.totals.Demotions++
+	fs.net.met.Inc(obs.FluidDemotions)
+	fs.net.tl.FluidFlow(now, obs.KindFluidDemote, int(fs.src[i]), int(fs.dst[i]))
+	at := fs.tickTime(i, fs.nextTick[i])
+	if at < now {
+		at = now // settlement ran to now, so only a same-instant tick remains
+	}
+	fs.net.sim.ScheduleHandlerAt(at, fs, i, nil)
+}
+
+// absorb returns a demoted flow to the fluid: subsequent ticks are
+// settled analytically again.
+func (fs *FlowSet) absorb(i int32, now time.Duration) {
+	fs.state[i] = flowFluid
+	fs.totals.Reabsorptions++
+	fs.net.met.Inc(obs.FluidReabsorptions)
+	fs.net.tl.FluidFlow(now, obs.KindFluidAbsorb, int(fs.src[i]), int(fs.dst[i]))
+}
+
+// HandleEvent implements sim.Handler: one demoted flow's packet tick.
+// kind is the flow index. While demoted, exactly one event per flow is
+// pending.
+func (fs *FlowSet) HandleEvent(kind int32, _ any) {
+	i := kind
+	if fs.state[i] != flowDemoted {
+		return
+	}
+	now := fs.net.sim.Now()
+	if now >= fs.demotedUntil[i] || now >= fs.cfg.Stop {
+		fs.absorb(i, now)
+		return
+	}
+	nd := fs.net.nodes[fs.src[i]]
+	nd.SendData(fs.dst[i], int(fs.size[i]), int(fs.ttl[i]))
+	fs.nextTick[i]++
+	if fs.nextTick[i] >= fs.maxTicks[i] {
+		fs.absorb(i, now) // emission window exhausted
+		return
+	}
+	fs.net.sim.ScheduleHandlerAt(fs.tickTime(i, fs.nextTick[i]), fs, i, nil)
+}
+
+// Finish settles every group's tail at the current instant — call it
+// once after the simulator reaches the end of the run, before reading
+// Stats or Totals. Ticks still within one path latency of the horizon
+// are booked as in-flight, matching the packet engine's end-of-run
+// balance.
+func (fs *FlowSet) Finish() {
+	now := fs.net.sim.Now()
+	for gi := range fs.groups {
+		fs.settleGroup(&fs.groups[gi], now)
+	}
+}

@@ -1,0 +1,286 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"routeconv/internal/obs"
+	"routeconv/internal/sim"
+	"routeconv/internal/topology"
+)
+
+// fluidLine builds an n-node line with static routes toward the last
+// node and a FlowSet attached.
+func fluidLine(t *testing.T, n int, fcfg FlowSetConfig) (*sim.Simulator, *Network, *FlowSet) {
+	t.Helper()
+	s := sim.New(1)
+	net := FromGraph(s, topology.Line(n), DefaultConfig(), nil)
+	last := NodeID(n - 1)
+	for i := 0; i < n-1; i++ {
+		net.Node(NodeID(i)).SetRoute(last, NodeID(i+1))
+	}
+	fs := net.AttachFlows(fcfg)
+	return s, net, fs
+}
+
+// TestFluidMatchesPacketQuiescent pins the tentpole's exactness claim: on
+// a quiescent network the fluid evaluator's sent/delivered/in-flight
+// accounting is identical to running the same CBR flow packet-by-packet —
+// including the end-of-run in-flight tail.
+func TestFluidMatchesPacketQuiescent(t *testing.T) {
+	const (
+		interval = 50 * time.Millisecond
+		start    = time.Second
+		// The horizon cuts the last tick's flight short: 20 ticks are
+		// emitted, the 1.95 s one is still on the wire at 1.952 s.
+		stop = 1952 * time.Millisecond
+		size = 1000
+		ttl  = 64
+	)
+
+	// Packet reference run.
+	ps := sim.New(1)
+	pnet := FromGraph(ps, topology.Line(4), DefaultConfig(), nil)
+	pmet := obs.NewMetrics()
+	pnet.Instrument(pmet, nil)
+	for i := 0; i < 3; i++ {
+		pnet.Node(NodeID(i)).SetRoute(3, NodeID(i+1))
+	}
+	StartCBR(pnet.Node(0), 3, interval, size, ttl, start, stop)
+	ps.RunUntil(stop)
+
+	// Fluid run of the same flow class.
+	fs, fnet, flows := fluidLine(t, 4, FlowSetConfig{Start: start, Stop: stop})
+	fmet := obs.NewMetrics()
+	fnet.Instrument(fmet, nil)
+	flows.Add(0, 3, interval, size, ttl)
+	fs.RunUntil(stop)
+	flows.Finish()
+
+	p, f := pnet.Stats(), fnet.Stats()
+	if p.DataSent != f.DataSent {
+		t.Errorf("sent: packet %d, fluid %d", p.DataSent, f.DataSent)
+	}
+	if p.DataDelivered != f.DataDelivered {
+		t.Errorf("delivered: packet %d, fluid %d", p.DataDelivered, f.DataDelivered)
+	}
+	if p.DataDropped() != 0 || f.DataDropped() != 0 {
+		t.Errorf("drops: packet %d, fluid %d, want 0", p.DataDropped(), f.DataDropped())
+	}
+	if pmet.InFlight() != fmet.InFlight() {
+		t.Errorf("in-flight: packet %d, fluid %d", pmet.InFlight(), fmet.InFlight())
+	}
+	if p.DataSent != 20 || p.DataDelivered != 19 || pmet.InFlight() != 1 {
+		t.Errorf("packet reference = sent %d delivered %d inflight %d, want 20/19/1",
+			p.DataSent, p.DataDelivered, pmet.InFlight())
+	}
+	if got := flows.Totals().InFlightEnd; got != 1 {
+		t.Errorf("fluid InFlightEnd = %d, want 1", got)
+	}
+}
+
+// TestFluidFates classifies blackholed, looping, dead-link and
+// TTL-exhausted flows into the same drop causes the packet engine uses.
+func TestFluidFates(t *testing.T) {
+	run := func(t *testing.T, build func(*Network, *FlowSet)) Stats {
+		t.Helper()
+		s := sim.New(1)
+		net := FromGraph(s, topology.Line(3), DefaultConfig(), nil)
+		fs := net.AttachFlows(FlowSetConfig{Start: time.Second, Stop: 2 * time.Second})
+		build(net, fs)
+		s.RunUntil(2 * time.Second)
+		fs.Finish()
+		return net.Stats()
+	}
+
+	t.Run("blackhole", func(t *testing.T) {
+		st := run(t, func(net *Network, fs *FlowSet) {
+			net.Node(0).SetRoute(2, 1) // node 1 has no route: blackhole
+			fs.Add(0, 2, 100*time.Millisecond, 1000, 64)
+		})
+		if st.Dropped(DropNoRoute) != 10 || st.DataDelivered != 0 {
+			t.Errorf("noroute=%d delivered=%d, want 10/0", st.Dropped(DropNoRoute), st.DataDelivered)
+		}
+	})
+	t.Run("loop", func(t *testing.T) {
+		st := run(t, func(net *Network, fs *FlowSet) {
+			net.Node(0).SetRoute(2, 1)
+			net.Node(1).SetRoute(2, 0) // 0↔1 micro-loop
+			fs.Add(0, 2, 100*time.Millisecond, 1000, 64)
+		})
+		if st.Dropped(DropTTLExpired) != 10 {
+			t.Errorf("ttl drops = %d, want 10", st.Dropped(DropTTLExpired))
+		}
+	})
+	t.Run("deadlink", func(t *testing.T) {
+		st := run(t, func(net *Network, fs *FlowSet) {
+			net.Node(0).SetRoute(2, 1)
+			net.Node(1).SetRoute(2, 2)
+			net.FailLink(1, 2)
+			fs.Add(0, 2, 100*time.Millisecond, 1000, 64)
+		})
+		if st.Dropped(DropLinkFailure) != 10 {
+			t.Errorf("link drops = %d, want 10", st.Dropped(DropLinkFailure))
+		}
+	})
+	t.Run("ttlbudget", func(t *testing.T) {
+		st := run(t, func(net *Network, fs *FlowSet) {
+			net.Node(0).SetRoute(2, 1)
+			net.Node(1).SetRoute(2, 2)
+			fs.Add(0, 2, 100*time.Millisecond, 1000, 1) // 2 hops > TTL 1
+		})
+		if st.Dropped(DropTTLExpired) != 10 {
+			t.Errorf("ttl drops = %d, want 10", st.Dropped(DropTTLExpired))
+		}
+	})
+}
+
+// TestFluidConservation checks the obs identity delivered + drops +
+// in-flight == sent across a mixed set of fluid fates.
+func TestFluidConservation(t *testing.T) {
+	s := sim.New(1)
+	net := FromGraph(s, topology.Line(4), DefaultConfig(), nil)
+	met := obs.NewMetrics()
+	net.Instrument(met, nil)
+	for i := 0; i < 3; i++ {
+		net.Node(NodeID(i)).SetRoute(3, NodeID(i+1))
+	}
+	net.Node(2).SetRoute(0, 1) // partial reverse path: node 1 blackholes 0
+	fs := net.AttachFlows(FlowSetConfig{Start: time.Second, Stop: 2 * time.Second})
+	fs.Add(0, 3, 50*time.Millisecond, 1000, 64)
+	fs.Add(2, 0, 70*time.Millisecond, 500, 64)
+	s.RunUntil(2 * time.Second)
+	fs.Finish()
+
+	sent := met.Get(obs.PacketsSent)
+	terminal := met.Get(obs.PacketsDelivered) + met.Get(obs.DropNoRoute) +
+		met.Get(obs.DropTTLExpired) + met.Get(obs.DropQueueOverflow) + met.Get(obs.DropLinkFailure)
+	if sent != terminal+uint64(met.InFlight()) {
+		t.Errorf("conservation: sent %d != delivered+drops %d + inflight %d",
+			sent, terminal, met.InFlight())
+	}
+	if sent == 0 {
+		t.Fatal("no fluid traffic accounted")
+	}
+}
+
+// TestHybridDemotion drives a route change through a hybrid FlowSet: the
+// affected flow demotes to real packets for the guard window, re-absorbs,
+// and total accounting stays exact.
+func TestHybridDemotion(t *testing.T) {
+	s := sim.New(1)
+	g := topology.NewGraph(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 3)
+	g.AddEdge(0, 2)
+	g.AddEdge(2, 3)
+	net := FromGraph(s, g, DefaultConfig(), nil)
+	met := obs.NewMetrics()
+	tl := obs.NewTimeline()
+	net.Instrument(met, tl)
+	net.Node(0).SetRoute(3, 1)
+	net.Node(1).SetRoute(3, 3)
+	net.Node(2).SetRoute(3, 3)
+
+	fs := net.AttachFlows(FlowSetConfig{
+		Start: time.Second, Stop: 3 * time.Second,
+		GuardWindow: 100 * time.Millisecond, Hybrid: true,
+	})
+	fs.Add(0, 3, 50*time.Millisecond, 1000, 64)
+
+	// Reroute 0→3 onto the lower path mid-run: the hook settles the old
+	// path's accrual first, then demotes the flow.
+	s.ScheduleAt(1500*time.Millisecond, func() { net.Node(0).SetRoute(3, 2) })
+	s.RunUntil(3 * time.Second)
+	fs.Finish()
+
+	tot := fs.Totals()
+	if tot.Demotions != 1 || tot.Reabsorptions != 1 {
+		t.Errorf("demotions=%d reabsorptions=%d, want 1/1", tot.Demotions, tot.Reabsorptions)
+	}
+	st := net.Stats()
+	if st.DataSent != 40 { // ticks at 1.00, 1.05, ..., 2.95
+		t.Errorf("sent = %d, want 40", st.DataSent)
+	}
+	if st.DataDelivered != st.DataSent {
+		t.Errorf("delivered = %d of %d; drops: %+v", st.DataDelivered, st.DataSent, st.DataDrops)
+	}
+	// The demoted window emitted real packets: the packet engine saw them.
+	if tot.Sent >= st.DataSent {
+		t.Errorf("fluid accounted all %d packets; expected a packet-simulated demotion window", tot.Sent)
+	}
+	if met.InFlight() != 0 {
+		t.Errorf("in-flight at end = %d, want 0", met.InFlight())
+	}
+	demotes, absorbs := 0, 0
+	for _, r := range tl.Records() {
+		switch r.Kind {
+		case obs.KindFluidDemote:
+			demotes++
+		case obs.KindFluidAbsorb:
+			absorbs++
+		}
+	}
+	if demotes != 1 || absorbs != 1 {
+		t.Errorf("timeline demotes=%d absorbs=%d, want 1/1", demotes, absorbs)
+	}
+}
+
+// TestHybridLinkFailureDemotes pins the link-event path: failing a link
+// under a hybrid FlowSet demotes exactly the flows crossing it.
+func TestHybridLinkFailureDemotes(t *testing.T) {
+	s := sim.New(1)
+	g := topology.NewGraph(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 3)
+	g.AddEdge(0, 2)
+	g.AddEdge(2, 3)
+	net := FromGraph(s, g, DefaultConfig(), nil)
+	net.Node(0).SetRoute(3, 1)
+	net.Node(1).SetRoute(3, 3)
+	net.Node(2).SetRoute(3, 3)
+	net.Node(1).SetRoute(2, 0) // unrelated destination group
+	net.Node(0).SetRoute(2, 2)
+
+	fs := net.AttachFlows(FlowSetConfig{
+		Start: time.Second, Stop: 3 * time.Second,
+		GuardWindow: 200 * time.Millisecond, Hybrid: true,
+	})
+	fs.Add(0, 3, 50*time.Millisecond, 1000, 64) // crosses 1-3
+	fs.Add(1, 2, 50*time.Millisecond, 1000, 64) // does not
+	s.ScheduleAt(1500*time.Millisecond, func() { net.FailLink(1, 3) })
+	s.RunUntil(3 * time.Second)
+	fs.Finish()
+
+	if got := fs.Totals().Demotions; got != 1 {
+		t.Errorf("demotions = %d, want 1 (only the flow crossing the failed link)", got)
+	}
+}
+
+// TestFluidSettleZeroAlloc is the satellite guard: once the per-epoch
+// scratch (presized to NetworkSize) is warm, a settlement recompute
+// allocates nothing.
+func TestFluidSettleZeroAlloc(t *testing.T) {
+	s := sim.New(1)
+	net := FromGraph(s, topology.Line(8), DefaultConfig(), nil)
+	for i := 0; i < 7; i++ {
+		net.Node(NodeID(i)).SetRoute(7, NodeID(i+1))
+	}
+	fs := net.AttachFlows(FlowSetConfig{Start: 0, Stop: time.Hour})
+	for i := 0; i < 4; i++ {
+		fs.Add(NodeID(i), 7, 10*time.Millisecond, 1000, 64)
+	}
+	now := time.Duration(0)
+	step := func() {
+		now += 10 * time.Millisecond
+		s.RunUntil(now)
+		fs.Finish() // settles every group at now, full fate recompute
+	}
+	step() // warm the scratch
+	if allocs := testing.AllocsPerRun(100, step); allocs != 0 {
+		t.Errorf("settle recompute allocates %.1f times per epoch, want 0", allocs)
+	}
+	if st := net.Stats(); st.DataDelivered == 0 {
+		t.Fatalf("no traffic settled: %+v", st)
+	}
+}

@@ -94,6 +94,9 @@ type Network struct {
 	// makes reuse O(1) instead of clearing per walk.
 	walkSeen  []uint32
 	walkEpoch uint32
+	// flows is the optional fluid/hybrid traffic engine (see fluid.go);
+	// nil when every flow is packet-simulated.
+	flows *FlowSet
 }
 
 // New returns an empty network using the given engine and link parameters.
@@ -249,6 +252,11 @@ func (n *Network) FailLink(a, b NodeID) {
 	if l.down {
 		return
 	}
+	if n.flows != nil {
+		// Settle fluid traffic against the graph that carried it before
+		// the link state flips (and demote crossing flows in hybrid mode).
+		n.flows.linkChanged(a, b)
+	}
 	l.down = true
 	n.tl.Link(n.sim.Now(), obs.KindLinkDown, int(a), int(b))
 	n.sim.Schedule(n.cfg.DetectDelay, func() {
@@ -270,6 +278,9 @@ func (n *Network) RestoreLink(a, b NodeID) {
 	}
 	if !l.down {
 		return
+	}
+	if n.flows != nil {
+		n.flows.linkChanged(a, b)
 	}
 	l.down = false
 	n.tl.Link(n.sim.Now(), obs.KindLinkUp, int(a), int(b))

@@ -156,6 +156,11 @@ func (nd *Node) SetRoute(dst, nextHop NodeID) {
 	if nd.fibGet(dst) == nextHop {
 		return
 	}
+	if nd.net.flows != nil {
+		// Settle fluid traffic for dst against the entry in force while
+		// it accrued, before the forwarding graph changes underneath it.
+		nd.net.flows.fibChanged(nd.id, dst)
+	}
 	nd.fibSet(dst, nextHop)
 	nd.net.met.Inc(obs.FIBChanges)
 	nd.net.tl.FIBChange(nd.net.sim.Now(), int(nd.id), int(dst), int(nextHop))
@@ -166,6 +171,9 @@ func (nd *Node) SetRoute(dst, nextHop NodeID) {
 func (nd *Node) ClearRoute(dst NodeID) {
 	if nd.fibGet(dst) == noRoute {
 		return
+	}
+	if nd.net.flows != nil {
+		nd.net.flows.fibChanged(nd.id, dst)
 	}
 	nd.fib[dst] = noRoute
 	nd.net.met.Inc(obs.FIBRemovals)
@@ -210,6 +218,9 @@ func (nd *Node) SetMultipath(dst NodeID, nextHops []NodeID) {
 		if nd.portTo(nh) == nil {
 			panic(fmt.Sprintf("netsim: node %d: multipath next hop %d is not a neighbor", nd.id, nh))
 		}
+	}
+	if nd.net.flows != nil && (len(nextHops) >= 2 || nd.multi[dst] != nil) {
+		nd.net.flows.fibChanged(nd.id, dst)
 	}
 	if len(nextHops) < 2 {
 		delete(nd.multi, dst)

@@ -40,12 +40,16 @@ func StartPoisson(node *Node, dst NodeID, meanInterval time.Duration, size, ttl 
 }
 
 func (p *poisson) Stop() {
+	if p == nil {
+		return
+	}
 	p.event.Cancel()
 	p.event = sim.Event{}
 }
 
 // HandleEvent implements sim.Handler: one tick sends one packet and draws
-// the next inter-arrival gap.
+// the next inter-arrival gap. A gap that lands at or past the deadline is
+// not scheduled at all: the source finishes with no dead event pending.
 func (p *poisson) HandleEvent(int32, any) {
 	now := p.node.Sim().Now()
 	if now >= p.stopAt {
@@ -53,7 +57,12 @@ func (p *poisson) HandleEvent(int32, any) {
 		return
 	}
 	p.node.SendData(p.dst, p.size, p.ttl)
-	p.event = p.node.Sim().ScheduleHandler(exp(p.node.Sim(), p.meanInterval), p, 0, nil)
+	gap := exp(p.node.Sim(), p.meanInterval)
+	if now+gap >= p.stopAt {
+		p.event = sim.Event{}
+		return
+	}
+	p.event = p.node.Sim().ScheduleHandler(gap, p, 0, nil)
 }
 
 // onOff event kinds.
@@ -95,6 +104,9 @@ func StartOnOff(node *Node, dst NodeID, interval, onMean, offMean time.Duration,
 }
 
 func (o *onOff) Stop() {
+	if o == nil {
+		return
+	}
 	o.event.Cancel()
 	o.event = sim.Event{}
 }
@@ -127,12 +139,24 @@ func (o *onOff) tick() {
 		return
 	}
 	if now >= o.until {
-		// Go silent, then begin the next burst.
+		// Go silent, then begin the next burst — unless the burst would
+		// open at or past the deadline.
 		o.on = false
-		o.event = o.node.Sim().ScheduleHandler(exp(o.node.Sim(), o.offMean), o, onOffBegin, nil)
+		gap := exp(o.node.Sim(), o.offMean)
+		if now+gap >= o.stopAt {
+			o.event = sim.Event{}
+			return
+		}
+		o.event = o.node.Sim().ScheduleHandler(gap, o, onOffBegin, nil)
 		return
 	}
 	o.node.SendData(o.dst, o.size, o.ttl)
+	if now+o.interval >= o.stopAt {
+		// The final tick lands exactly on (or past) the boundary: finish
+		// without scheduling a dead event.
+		o.event = sim.Event{}
+		return
+	}
 	o.event = o.node.Sim().ScheduleHandler(o.interval, o, onOffTick, nil)
 }
 

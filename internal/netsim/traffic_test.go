@@ -98,6 +98,42 @@ func TestTrafficValidation(t *testing.T) {
 	})
 }
 
+func TestTrafficStopNilSafe(t *testing.T) {
+	// Stop must be callable on zero and nil sources, any number of times.
+	(*poisson)(nil).Stop()
+	(*onOff)(nil).Stop()
+	var p poisson
+	p.Stop()
+	p.Stop()
+	var o onOff
+	o.Stop()
+	o.Stop()
+}
+
+// TestTrafficNoEventPastDeadline pins the stopAt boundary fix: sources
+// must not leave a dead event scheduled at or beyond their deadline, so
+// the simulator drains exactly when traffic ends.
+func TestTrafficNoEventPastDeadline(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		s := sim.New(seed)
+		n := FromGraph(s, topology.Line(2), DefaultConfig(), nil)
+		n.Node(0).SetRoute(1, 1)
+		const stop = 2 * time.Second
+		StartPoisson(n.Node(0), 1, 10*time.Millisecond, 100, 64, time.Second, stop)
+		StartOnOff(n.Node(0), 1, 10*time.Millisecond, 100*time.Millisecond, 100*time.Millisecond, 100, 64, time.Second, stop)
+		s.Run()
+		// Deliveries of packets sent just before the deadline trail it by
+		// one hop's latency; anything later is a source tick that the
+		// boundary clamp should have suppressed.
+		if slack := 2 * time.Millisecond; s.Now() >= stop+slack {
+			t.Fatalf("seed %d: an event fired at %v, past the %v source deadline", seed, s.Now(), stop)
+		}
+		if got := s.Pending(); got != 0 {
+			t.Fatalf("seed %d: %d events still pending after Run", seed, got)
+		}
+	}
+}
+
 func TestTrafficDeterministic(t *testing.T) {
 	run := func() uint64 {
 		s := sim.New(9)

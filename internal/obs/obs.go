@@ -78,6 +78,18 @@ const (
 	// messages.
 	ProtoFloodsSent
 	ProtoFloodsReceived
+	// FluidSettles counts fluid-engine settlements that accounted at
+	// least one packet tick analytically (netsim.FlowSet).
+	FluidSettles
+	// FluidDemotions and FluidReabsorptions count hybrid-mode flow state
+	// transitions: fluid → packet at a forwarding change on the flow's
+	// path, and packet → fluid when the guard window expires.
+	FluidDemotions
+	FluidReabsorptions
+	// FluidDeliveredBytes and FluidDroppedBytes are the byte totals the
+	// fluid evaluator accounted (packet-engine bytes are not included).
+	FluidDeliveredBytes
+	FluidDroppedBytes
 
 	numCounters
 )
@@ -105,6 +117,11 @@ var counterNames = [numCounters]string{
 	ProtoDecisionRuns:    "proto.decision_runs",
 	ProtoFloodsSent:      "proto.floods.sent",
 	ProtoFloodsReceived:  "proto.floods.received",
+	FluidSettles:         "fluid.settles",
+	FluidDemotions:       "fluid.demotions",
+	FluidReabsorptions:   "fluid.reabsorptions",
+	FluidDeliveredBytes:  "fluid.delivered_bytes",
+	FluidDroppedBytes:    "fluid.dropped_bytes",
 }
 
 // Name returns the counter's dotted metric name.
@@ -186,6 +203,21 @@ func (m *Metrics) PacketIn() {
 func (m *Metrics) PacketOut() {
 	if m != nil {
 		m.inFlight--
+	}
+}
+
+// PacketInN records n data packets entering the network at once — the
+// fluid engine's bulk settlement path.
+func (m *Metrics) PacketInN(n uint64) {
+	if m != nil {
+		m.inFlight += int64(n)
+	}
+}
+
+// PacketOutN records n data packets reaching terminal events at once.
+func (m *Metrics) PacketOutN(n uint64) {
+	if m != nil {
+		m.inFlight -= int64(n)
 	}
 }
 

@@ -43,6 +43,12 @@ const (
 	// KindConvergenceComplete is synthesized by Finish: the time of the
 	// last FIB event anywhere at or after the failure.
 	KindConvergenceComplete
+	// KindFluidDemote records the hybrid traffic engine demoting the
+	// Node→Dst flow class to packet-level simulation after a forwarding
+	// change on its path; KindFluidAbsorb records its return to the
+	// fluid once the guard window expires.
+	KindFluidDemote
+	KindFluidAbsorb
 
 	numKinds
 )
@@ -61,6 +67,8 @@ var kindNames = [numKinds]string{
 	KindFirstFIBChange:      "fib_first_change",
 	KindLastFIBChange:       "fib_last_change",
 	KindConvergenceComplete: "convergence_complete",
+	KindFluidDemote:         "fluid_demote",
+	KindFluidAbsorb:         "fluid_absorb",
 }
 
 // String returns the record type's NDJSON `event` value.
@@ -129,6 +137,12 @@ func (t *Timeline) Withdrawal(at time.Duration, node, neighbor, dst int) {
 // (KindRouteReuse) the route to dst learned from neighbor at node.
 func (t *Timeline) RouteFlap(at time.Duration, kind Kind, node, neighbor, dst int) {
 	t.add(Record{At: at, Kind: kind, Node: node, Peer: neighbor, Dst: dst})
+}
+
+// FluidFlow records the hybrid engine demoting (KindFluidDemote) or
+// re-absorbing (KindFluidAbsorb) the node→dst flow class.
+func (t *Timeline) FluidFlow(at time.Duration, kind Kind, node, dst int) {
+	t.add(Record{At: at, Kind: kind, Node: node, Peer: -1, Dst: dst})
 }
 
 // Len returns the number of records logged so far.
@@ -228,6 +242,9 @@ func (t *Timeline) WriteNDJSON(w io.Writer) error {
 		case KindConvergenceComplete:
 			_, err = fmt.Fprintf(bw, `{"t_ns":%d,"event":%q}`+"\n",
 				r.At.Nanoseconds(), kindNames[r.Kind])
+		case KindFluidDemote, KindFluidAbsorb:
+			_, err = fmt.Fprintf(bw, `{"t_ns":%d,"event":%q,"node":%d,"dst":%d}`+"\n",
+				r.At.Nanoseconds(), kindNames[r.Kind], r.Node, r.Dst)
 		default:
 			_, err = fmt.Fprintf(bw, `{"t_ns":%d,"event":%q,"node":%d,"peer":%d,"dst":%d}`+"\n",
 				r.At.Nanoseconds(), kindNames[r.Kind], r.Node, r.Peer, r.Dst)

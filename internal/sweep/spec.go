@@ -102,6 +102,14 @@ type Spec struct {
 	Trials int `json:"trials"`
 	// Seed is the base random seed (default 1).
 	Seed int64 `json:"seed,omitempty"`
+	// Flows sweeps the number of concurrent sender/receiver pairs as an
+	// extra grid axis; empty inherits the base config's flow count (the
+	// paper's single flow).
+	Flows []int `json:"flows,omitempty"`
+	// Mode selects the background-flow traffic engine for every cell:
+	// "packet" (default), "fluid", or "hybrid". Flow counts beyond a few
+	// thousand need "fluid" or "hybrid" to stay tractable.
+	Mode string `json:"mode,omitempty"`
 	// Failures lists the failure models; empty means the paper's single
 	// permanent failure.
 	Failures []FailureMode `json:"failures,omitempty"`
@@ -129,6 +137,9 @@ type Cell struct {
 	Topo string
 	// Failure is the cell's failure model.
 	Failure FailureMode
+	// Flows is the cell's flow count when it came from the Flows axis;
+	// 0 for cells inheriting the base config's count.
+	Flows int
 	// Config is the fully-resolved experiment configuration.
 	Config core.Config
 	// Key is the cell's content-addressed cache key: a hash of the
@@ -137,12 +148,17 @@ type Cell struct {
 }
 
 // ID returns the cell's human-readable identifier, e.g. "dbf/d4/single"
-// for a mesh-degree cell or "rip/ba:n=10000,m=2/single" for a topo cell.
+// for a mesh-degree cell or "rip/ba:n=10000,m=2/single" for a topo cell,
+// with a "/fN" suffix for cells from the Flows axis.
 func (c *Cell) ID() string {
+	id := fmt.Sprintf("%s/d%d/%s", c.Protocol, c.Degree, c.Failure.Name)
 	if c.Topo != "" {
-		return fmt.Sprintf("%s/%s/%s", c.Protocol, c.Topo, c.Failure.Name)
+		id = fmt.Sprintf("%s/%s/%s", c.Protocol, c.Topo, c.Failure.Name)
 	}
-	return fmt.Sprintf("%s/d%d/%s", c.Protocol, c.Degree, c.Failure.Name)
+	if c.Flows > 0 {
+		id += fmt.Sprintf("/f%d", c.Flows)
+	}
+	return id
 }
 
 // LoadSpec reads a JSON sweep specification from a file.
@@ -207,7 +223,33 @@ func (s *Spec) Expand() ([]Cell, error) {
 		}
 	}
 	base := s.base()
+	if s.Mode != "" {
+		mode, err := core.ParseTrafficMode(s.Mode)
+		if err != nil {
+			return nil, err
+		}
+		base.Mode = mode
+	}
+	flowsAxis := s.Flows
+	if len(flowsAxis) == 0 {
+		flowsAxis = []int{0} // inherit the base config's flow count
+	}
 	var cells []Cell
+	finish := func(c Cell) error {
+		if c.Flows > 0 {
+			c.Config.Flows = c.Flows
+		}
+		if err := c.Config.Validate(); err != nil {
+			return fmt.Errorf("sweep: cell %s: %w", c.ID(), err)
+		}
+		key, err := CellKey(&c.Config)
+		if err != nil {
+			return fmt.Errorf("sweep: cell %s: %w", c.ID(), err)
+		}
+		c.Key = key
+		cells = append(cells, c)
+		return nil
+	}
 	for _, name := range s.Protocols {
 		proto, err := core.ParseProtocol(strings.TrimSpace(name))
 		if err != nil {
@@ -215,34 +257,28 @@ func (s *Spec) Expand() ([]Cell, error) {
 		}
 		for _, d := range s.Degrees {
 			for _, f := range failures {
-				cfg := base
-				cfg.Protocol = proto
-				cfg.Degree = d
-				f.apply(&cfg)
-				if err := cfg.Validate(); err != nil {
-					return nil, fmt.Errorf("sweep: cell %s/d%d/%s: %w", proto, d, f.Name, err)
+				for _, fl := range flowsAxis {
+					cfg := base
+					cfg.Protocol = proto
+					cfg.Degree = d
+					f.apply(&cfg)
+					if err := finish(Cell{Protocol: proto, Degree: d, Failure: f, Flows: fl, Config: cfg}); err != nil {
+						return nil, err
+					}
 				}
-				key, err := CellKey(&cfg)
-				if err != nil {
-					return nil, fmt.Errorf("sweep: cell %s/d%d/%s: %w", proto, d, f.Name, err)
-				}
-				cells = append(cells, Cell{Protocol: proto, Degree: d, Failure: f, Config: cfg, Key: key})
 			}
 		}
 		for _, topo := range s.Topos {
 			for _, f := range failures {
-				cfg := base
-				cfg.Protocol = proto
-				cfg.Topo = topo
-				f.apply(&cfg)
-				if err := cfg.Validate(); err != nil {
-					return nil, fmt.Errorf("sweep: cell %s/%s/%s: %w", proto, topo, f.Name, err)
+				for _, fl := range flowsAxis {
+					cfg := base
+					cfg.Protocol = proto
+					cfg.Topo = topo
+					f.apply(&cfg)
+					if err := finish(Cell{Protocol: proto, Topo: topo, Failure: f, Flows: fl, Config: cfg}); err != nil {
+						return nil, err
+					}
 				}
-				key, err := CellKey(&cfg)
-				if err != nil {
-					return nil, fmt.Errorf("sweep: cell %s/%s/%s: %w", proto, topo, f.Name, err)
-				}
-				cells = append(cells, Cell{Protocol: proto, Topo: topo, Failure: f, Config: cfg, Key: key})
 			}
 		}
 	}

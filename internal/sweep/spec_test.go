@@ -106,6 +106,49 @@ func TestExpandToposAxis(t *testing.T) {
 	}
 }
 
+func TestExpandFlowsAxis(t *testing.T) {
+	spec := Spec{
+		Protocols: []string{"rip"},
+		Degrees:   []int{4},
+		Flows:     []int{1, 1000},
+		Mode:      "hybrid",
+		Trials:    1,
+	}
+	cells, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 2 {
+		t.Fatalf("expanded %d cells, want 2", len(cells))
+	}
+	if cells[0].ID() != "rip/d4/single/f1" || cells[1].ID() != "rip/d4/single/f1000" {
+		t.Errorf("cell IDs = %s, %s", cells[0].ID(), cells[1].ID())
+	}
+	if cells[1].Config.Flows != 1000 || cells[1].Config.Mode != core.ModeHybrid {
+		t.Errorf("flows/mode not threaded into the config: %+v", cells[1].Config)
+	}
+	if cells[0].Key == cells[1].Key {
+		t.Error("flow counts did not change the cache key")
+	}
+	// Mode alone (no Flows axis) also reaches the config and the key.
+	packet := Spec{Protocols: []string{"rip"}, Degrees: []int{4}, Trials: 1}
+	pc, err := packet.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pc[0].ID() != "rip/d4/single" {
+		t.Errorf("inherited-flows cell ID = %s, want no /fN suffix", pc[0].ID())
+	}
+	if pc[0].Key == cells[0].Key {
+		t.Error("mode did not change the cache key")
+	}
+	// A bad mode fails expansion.
+	bad := Spec{Protocols: []string{"rip"}, Degrees: []int{4}, Trials: 1, Mode: "nonesuch"}
+	if _, err := bad.Expand(); err == nil {
+		t.Error("bad mode expanded")
+	}
+}
+
 func TestParseSpecRejectsUnknownFields(t *testing.T) {
 	if _, err := ParseSpec([]byte(`{"protocols":["rip"],"degrees":[3],"trials":1,"bogus":true}`)); err == nil {
 		t.Fatal("unknown field accepted")
@@ -141,7 +184,7 @@ func TestCellKeysGolden(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Updated when core.Config gained the Topo spec field (PR 6).
-	const want = "3de361a9cd45b213e8f37e7f1501e71bb44b5c19f764b9225e004310d6fd24a1"
+	const want = "5a611121ba2a2b1465a86443ce146c5483c0ceba0d3687f3c800958aa760beb0"
 	if key != want {
 		t.Errorf("golden dbf key changed:\n got %s\nwant %s\n(an intentional Config or encoding change must update this golden)", key, want)
 	}
@@ -150,7 +193,7 @@ func TestCellKeysGolden(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	const wantRIP = "cf0d5122f2c469bf760f37e1ebd2f36472b163e249c1bd865932560e00de1ac6"
+	const wantRIP = "91d43615a0b0b915ac1081e6c8f9585225eab63022eb8f6dadf5df82b5455927"
 	if key2 != wantRIP {
 		t.Errorf("golden rip key changed:\n got %s\nwant %s", key2, wantRIP)
 	}

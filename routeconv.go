@@ -82,6 +82,23 @@ const (
 // kind.
 func ParseProtocol(s string) (ProtocolKind, error) { return core.ParseProtocol(s) }
 
+// TrafficMode selects the engine simulating background flows (every flow
+// after the measured probe).
+type TrafficMode = core.TrafficMode
+
+// Traffic engine modes: per-packet simulation for every flow (the paper's
+// setup), pure fluid accounting, or the hybrid that demotes flows to
+// packets around forwarding changes.
+const (
+	ModePacket = core.ModePacket
+	ModeFluid  = core.ModeFluid
+	ModeHybrid = core.ModeHybrid
+)
+
+// ParseTrafficMode converts a name ("packet", "fluid", "hybrid") to its
+// mode.
+func ParseTrafficMode(s string) (TrafficMode, error) { return core.ParseTrafficMode(s) }
+
 // Config describes one experiment; see DefaultConfig for the paper's
 // parameters.
 type Config = core.Config
