@@ -6,7 +6,8 @@
 //
 //	convsim [-protocol dbf] [-degree 4] [-rows 7] [-cols 7] [-trials 10]
 //	        [-topo ba:n=10000,m=2] [-senderstart 390s] [-failat 400s]
-//	        [-end 800s] [-seed 1] [-flows 1] [-rate 20] [-timeline out.ndjson]
+//	        [-end 800s] [-seed 1] [-flows 1] [-rate 20] [-shards 8]
+//	        [-timeline out.ndjson]
 //
 // With -timeline, trial 0 is replayed with the convergence timeline
 // attached and the records are written as NDJSON (schema: OBSERVABILITY.md).

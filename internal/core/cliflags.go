@@ -34,6 +34,8 @@ type ExperimentFlags struct {
 	Seed     int64
 	// Mode is the background-flow traffic engine; empty means packet.
 	Mode string
+	// Shards is the number of parallel simulation shards; ≤1 is sequential.
+	Shards int
 }
 
 // Register declares the mesh flags plus -protocol, -seed and -mode on fs,
@@ -44,6 +46,8 @@ func (e *ExperimentFlags) Register(fs *flag.FlagSet) {
 	fs.Int64Var(&e.Seed, "seed", e.Seed, "base random seed")
 	fs.StringVar(&e.Mode, "mode", e.Mode,
 		"background-flow traffic engine: packet, fluid, hybrid (flow 0 is always packet-simulated)")
+	fs.IntVar(&e.Shards, "shards", e.Shards,
+		"parallel simulation shards per trial (conservative sync; ≤1 = sequential, results identical)")
 }
 
 // Config resolves the parsed flags into an experiment configuration:
@@ -65,5 +69,6 @@ func (e *ExperimentFlags) Config() (Config, error) {
 		}
 		cfg.Mode = mode
 	}
+	cfg.Shards = e.Shards
 	return cfg, nil
 }

@@ -68,7 +68,7 @@ func TestHybridToleranceBackgroundFlows(t *testing.T) {
 		"bgp":          0.05,
 		"bgp3":         0.05,
 		"ls":           0.05,
-		"bgp3-damping": 0.15, // long suppression epochs amplify classification drift
+		"bgp3-damping": 0.20, // long suppression epochs amplify classification drift
 	}
 	for _, sc := range goldenScenarios() {
 		sc := sc

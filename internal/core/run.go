@@ -14,6 +14,7 @@ import (
 	"routeconv/internal/sim"
 	"routeconv/internal/stats"
 	"routeconv/internal/topology"
+	"routeconv/internal/topology/partition"
 	"routeconv/internal/trace"
 )
 
@@ -119,6 +120,13 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		firstErr error
 	)
 	workers := runtime.GOMAXPROCS(0)
+	if cfg.Shards > 1 {
+		// Each sharded trial already keeps cfg.Shards goroutines busy;
+		// running GOMAXPROCS trials at once would oversubscribe the cores.
+		if workers = workers / cfg.Shards; workers < 1 {
+			workers = 1
+		}
+	}
 	if workers > cfg.Trials {
 		workers = cfg.Trials
 	}
@@ -306,6 +314,12 @@ func runTrial(cfg *Config, trial int, tl *obs.Timeline, compact bool) (TrialResu
 	for _, f := range flows {
 		f.collector.SetNetwork(net)
 	}
+	if cfg.Shards > 1 {
+		// Partition before protocols attach: each protocol captures its
+		// node's (shard) simulator at construction.
+		part := partition.Partition(topology.NewCSR(g), cfg.Shards, seed)
+		net.EnableSharding(part.Assign, part.K)
+	}
 	for i := 0; i < net.Len(); i++ {
 		node := net.Node(netsim.NodeID(i))
 		node.AttachProtocol(factory(node))
@@ -410,12 +424,24 @@ func runTrial(cfg *Config, trial int, tl *obs.Timeline, compact bool) (TrialResu
 		})
 	}
 
-	s.RunUntil(cfg.End)
+	if net.Sharded() {
+		net.RunSharded(cfg.End)
+	} else {
+		s.RunUntil(cfg.End)
+	}
 	if flowSet != nil {
 		flowSet.Finish() // settle the fluid tail before reading stats
 	}
-	met.Set(obs.EventsFired, s.Fired())
+	fired := s.Fired()
+	if net.Sharded() {
+		fired = net.FiredEvents() // control plus all shard simulators
+		net.FinishSharding()
+	}
+	met.Set(obs.EventsFired, fired)
 	tl.Finish(cfg.FailAt)
+	for _, f := range flows {
+		f.collector.Flush() // commit the final instant's buffered records
+	}
 
 	c := primary.collector
 	nBins := int((cfg.End - cfg.SenderStart) / time.Second)

@@ -3,17 +3,16 @@ package core
 import (
 	"fmt"
 	"os"
+	"runtime"
 	"runtime/debug"
 	"strconv"
 	"testing"
 	"time"
 )
 
-// TestScaleSmoke10kBA is the internet-scale smoke: one full convergence
-// trial — warm-up, probe flow, on-path link failure, measurement — on a
-// 10,000-node power-law graph, under a wall-clock budget. It is gated
-// behind SCALE_SMOKE=1 (CI runs it in a dedicated job) so the ordinary
-// test run stays fast. Override the budget with SCALE_SMOKE_BUDGET_SECONDS.
+// scaleSmokeConfig is the shared internet-scale trial: one full RIP
+// convergence trial — warm-up, probe flow, on-path link failure,
+// measurement — on a 10,000-node power-law graph.
 //
 // The configuration scales the paper's §5 parameters to 10k nodes rather
 // than copying them: periodic full-table floods are pushed past the
@@ -21,19 +20,7 @@ import (
 // updates carry convergence), triggered-update damping is tightened so
 // convergence completes within the short horizon, and MaxEntries is raised
 // so a full table is hundreds rather than thousands of packets.
-func TestScaleSmoke10kBA(t *testing.T) {
-	if os.Getenv("SCALE_SMOKE") != "1" {
-		t.Skip("set SCALE_SMOKE=1 to run the 10k-node smoke")
-	}
-	budget := 60 * time.Second
-	if s := os.Getenv("SCALE_SMOKE_BUDGET_SECONDS"); s != "" {
-		secs, err := strconv.Atoi(s)
-		if err != nil {
-			t.Fatalf("bad SCALE_SMOKE_BUDGET_SECONDS %q", s)
-		}
-		budget = time.Duration(secs) * time.Second
-	}
-
+func scaleSmokeConfig() Config {
 	cfg := DefaultConfig()
 	cfg.Protocol = ProtoRIP
 	cfg.Topo = "ba:n=10000,m=2,seed=1"
@@ -47,6 +34,32 @@ func TestScaleSmoke10kBA(t *testing.T) {
 	cfg.Vector.DampMax = time.Second
 	cfg.Vector.MaxEntries = 5000
 	cfg.Vector.Infinity = 24 // BA diameter ~10; default 16 is too tight a margin, 64 drags out count-to-infinity
+	return cfg
+}
+
+// smokeBudget reads the wall-clock budget for the scale smokes, overridable
+// with SCALE_SMOKE_BUDGET_SECONDS.
+func smokeBudget(t *testing.T) time.Duration {
+	budget := 60 * time.Second
+	if s := os.Getenv("SCALE_SMOKE_BUDGET_SECONDS"); s != "" {
+		secs, err := strconv.Atoi(s)
+		if err != nil {
+			t.Fatalf("bad SCALE_SMOKE_BUDGET_SECONDS %q", s)
+		}
+		budget = time.Duration(secs) * time.Second
+	}
+	return budget
+}
+
+// TestScaleSmoke10kBA runs the internet-scale trial sequentially under a
+// wall-clock budget. It is gated behind SCALE_SMOKE=1 (CI runs it in a
+// dedicated job) so the ordinary test run stays fast.
+func TestScaleSmoke10kBA(t *testing.T) {
+	if os.Getenv("SCALE_SMOKE") != "1" {
+		t.Skip("set SCALE_SMOKE=1 to run the 10k-node smoke")
+	}
+	budget := smokeBudget(t)
+	cfg := scaleSmokeConfig()
 
 	// The trial allocates update bursts at a high rate but retains little;
 	// default GC pacing would run thousands of cycles over the trial.
@@ -83,19 +96,9 @@ func TestHybridSmoke1M(t *testing.T) {
 	if os.Getenv("SCALE_SMOKE") != "1" {
 		t.Skip("set SCALE_SMOKE=1 to run the 1M-flow hybrid smoke")
 	}
-	budget := 60 * time.Second
-	if s := os.Getenv("SCALE_SMOKE_BUDGET_SECONDS"); s != "" {
-		secs, err := strconv.Atoi(s)
-		if err != nil {
-			t.Fatalf("bad SCALE_SMOKE_BUDGET_SECONDS %q", s)
-		}
-		budget = time.Duration(secs) * time.Second
-	}
+	budget := smokeBudget(t)
 
-	cfg := DefaultConfig()
-	cfg.Protocol = ProtoRIP
-	cfg.Topo = "ba:n=10000,m=2,seed=1"
-	cfg.Trials = 1
+	cfg := scaleSmokeConfig()
 	cfg.Flows = 1_000_000
 	cfg.Mode = ModeHybrid
 	// A wide guard would re-emit hundreds of thousands of flows as packet
@@ -105,16 +108,7 @@ func TestHybridSmoke1M(t *testing.T) {
 	// Per-flow rate is scaled down so a million classes model a realistic
 	// aggregate instead of 20M pps: one packet per 2 s each.
 	cfg.PacketInterval = 2 * time.Second
-	cfg.SenderStart = 12 * time.Second
-	cfg.FailAt = 15 * time.Second
-	cfg.End = 25 * time.Second
 	cfg.Metrics = true
-	cfg.Vector.PeriodicInterval = 600 * time.Second
-	cfg.Vector.PeriodicJitter = time.Second
-	cfg.Vector.DampMin = 500 * time.Millisecond
-	cfg.Vector.DampMax = time.Second
-	cfg.Vector.MaxEntries = 5000
-	cfg.Vector.Infinity = 24
 
 	defer debug.SetGCPercent(debug.SetGCPercent(400))
 
@@ -150,6 +144,80 @@ func TestHybridSmoke1M(t *testing.T) {
 		fragment := fmt.Sprintf(`{"hybrid_smoke_1m_flows_10k_ba": {"wall_seconds": %.2f, "flows": %d, "sent": %d, "delivery": %.4f, "settles": %d, "demotions": %d}}`+"\n",
 			wall.Seconds(), cfg.Flows, res.Trials[0].Sent, res.DeliveryRatio,
 			m["fluid.settles"], m["fluid.demotions"])
+		if err := os.WriteFile(out, []byte(fragment), 0o644); err != nil {
+			t.Errorf("BENCH_OUT: %v", err)
+		}
+	}
+}
+
+// TestShardSmoke10kBA is the sharded-execution scale smoke: the same
+// 10k-node trial run sequentially and then with SCALE_SMOKE_SHARDS shards
+// (default 8). Both runs must produce identical headline results — the
+// determinism contract checked exhaustively on the 26-node goldens holds
+// at internet scale too — and the sharded run's wall clock is reported
+// next to the sequential one. The speedup assertion is left to CI, which
+// runs on a multi-core host; on GOMAXPROCS=1 the shard goroutines
+// time-slice one core and the barrier overhead makes the parallel run
+// slightly slower, which is expected and recorded, not failed.
+func TestShardSmoke10kBA(t *testing.T) {
+	if os.Getenv("SCALE_SMOKE") != "1" {
+		t.Skip("set SCALE_SMOKE=1 to run the sharded 10k-node smoke")
+	}
+	budget := smokeBudget(t)
+	shards := 8
+	if s := os.Getenv("SCALE_SMOKE_SHARDS"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 1 {
+			t.Fatalf("bad SCALE_SMOKE_SHARDS %q", s)
+		}
+		shards = n
+	}
+
+	defer debug.SetGCPercent(debug.SetGCPercent(400))
+
+	cfg := scaleSmokeConfig()
+	start := time.Now()
+	seq, err := Run(cfg)
+	seqWall := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg = scaleSmokeConfig()
+	cfg.Shards = shards
+	cfg.Metrics = true
+	start = time.Now()
+	par, err := Run(cfg)
+	parWall := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	speedup := seqWall.Seconds() / parWall.Seconds()
+	m := par.Trials[0].Metrics
+	t.Logf("10k-node BA RIP trial: sequential=%.2fs shards=%d sharded=%.2fs speedup=%.2fx gomaxprocs=%d barriers=%d cross_msgs=%d",
+		seqWall.Seconds(), shards, parWall.Seconds(), speedup, runtime.GOMAXPROCS(0),
+		m["shard.barrier_waits"], m["shard.cross_msgs"])
+
+	a, b := seq.Trials[0], par.Trials[0]
+	if a.Sent != b.Sent || a.Delivered != b.Delivered ||
+		a.NoRouteDrops != b.NoRouteDrops || a.TTLDrops != b.TTLDrops ||
+		a.LinkFailureDrops != b.LinkFailureDrops || a.QueueDrops != b.QueueDrops ||
+		a.RoutingConvergence != b.RoutingConvergence || a.ForwardingConvergence != b.ForwardingConvergence {
+		t.Errorf("sharded trial diverged from sequential at 10k nodes:\n seq:    sent=%d delivered=%d drops=%d/%d/%d/%d conv=%v/%v\n shards: sent=%d delivered=%d drops=%d/%d/%d/%d conv=%v/%v",
+			a.Sent, a.Delivered, a.NoRouteDrops, a.TTLDrops, a.LinkFailureDrops, a.QueueDrops, a.RoutingConvergence, a.ForwardingConvergence,
+			b.Sent, b.Delivered, b.NoRouteDrops, b.TTLDrops, b.LinkFailureDrops, b.QueueDrops, b.RoutingConvergence, b.ForwardingConvergence)
+	}
+	if m["shard.barrier_waits"] == 0 {
+		t.Error("shard.barrier_waits = 0 — the sharded path never engaged")
+	}
+	if parWall > budget {
+		t.Errorf("sharded trial took %.1fs, over the %.0fs budget", parWall.Seconds(), budget.Seconds())
+	}
+	if out := os.Getenv("BENCH_OUT"); out != "" {
+		fragment := fmt.Sprintf(`{"shard_smoke_10k_ba": {"sequential_wall_seconds": %.2f, "shards": %d, "sharded_wall_seconds": %.2f, "speedup": %.2f, "gomaxprocs": %d, "barrier_waits": %d, "cross_msgs": %d}}`+"\n",
+			seqWall.Seconds(), shards, parWall.Seconds(), speedup, runtime.GOMAXPROCS(0),
+			m["shard.barrier_waits"], m["shard.cross_msgs"])
 		if err := os.WriteFile(out, []byte(fragment), 0o644); err != nil {
 			t.Errorf("BENCH_OUT: %v", err)
 		}

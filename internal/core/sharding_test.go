@@ -1,0 +1,172 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"routeconv/internal/netsim"
+	"routeconv/internal/trace"
+)
+
+// TestShardedGoldenEquivalence is the sharding correctness contract: every
+// golden scenario, run with Shards ∈ {2, 4}, must reproduce the sequential
+// trial bit-for-bit — the same TrialResult (compared textually so NaN delay
+// bins compare equal) and the same drop, route-change, and path-sample
+// streams. Conservative windows with the link delay as lookahead never
+// reorder anything observable; per-node and per-source random streams make
+// the schedule independent of how nodes are distributed over simulators.
+func TestShardedGoldenEquivalence(t *testing.T) {
+	for _, sc := range goldenScenarios() {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			t.Parallel()
+			ref, refC, err := Trace(sc.config(), 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := fmt.Sprintf("%+v", ref)
+			for _, shards := range []int{2, 4} {
+				cfg := sc.config()
+				cfg.Shards = shards
+				tr, c, err := Trace(cfg, 0)
+				if err != nil {
+					t.Fatalf("shards=%d: %v", shards, err)
+				}
+				if got := fmt.Sprintf("%+v", tr); got != want {
+					t.Errorf("shards=%d trial differs from sequential:\n seq:    %s\n shards: %s",
+						shards, want, got)
+				}
+				// Drops must agree record for record in place, reason and
+				// kind. Timestamps get a small tolerance: a data packet
+				// caught in a transient loop can race a same-instant route
+				// update at a node, and which one the engine processes
+				// first is a scheduling accident that sharding is allowed
+				// to resolve differently — the packet then exits the loop
+				// one traversal earlier or later, shifting its drop time
+				// by a few link delays.
+				if len(refC.Drops) != len(c.Drops) {
+					t.Errorf("shards=%d: drop vectors differ (%d vs %d records)",
+						shards, len(refC.Drops), len(c.Drops))
+				} else {
+					for i := range refC.Drops {
+						a, b := refC.Drops[i], c.Drops[i]
+						dt := a.At - b.At
+						if dt < 0 {
+							dt = -dt
+						}
+						if a.Where != b.Where || a.Reason != b.Reason ||
+							a.Control != b.Control || dt > 4*netsim.DefaultConfig().LinkDelay {
+							t.Errorf("shards=%d: drop %d differs: seq %+v, sharded %+v",
+								shards, i, a, b)
+							break
+						}
+					}
+				}
+				// The link-state scenario gets a weaker route-change check.
+				// When one LSA arrives at a node from two neighbors at the
+				// same instant, whichever arrival is processed first decides
+				// the reflood's "all but the sender" set; the loser's link
+				// carries one extra duplicate whose serialization displaces
+				// later messages by microseconds. Every forwarding entry
+				// still passes through the identical sequence of states, so
+				// that trajectory — values in order, timestamps within a few
+				// link delays — is what is pinned. The vector protocols have
+				// no such race and must match exactly.
+				if sc.name == "ls" {
+					compareTrajectories(t, shards, refC.RouteChanges, c.RouteChanges)
+				} else if !reflect.DeepEqual(refC.RouteChanges, c.RouteChanges) {
+					t.Errorf("shards=%d: route-change streams differ (%d vs %d records)",
+						shards, len(refC.RouteChanges), len(c.RouteChanges))
+				}
+				if !reflect.DeepEqual(refC.PathHistory, c.PathHistory) {
+					t.Errorf("shards=%d: path-sample streams differ (%d vs %d records)",
+						shards, len(refC.PathHistory), len(c.PathHistory))
+				}
+			}
+		})
+	}
+}
+
+// compareTrajectories checks that every forwarding entry passes through
+// the same sequence of states in both route-change streams, with
+// timestamps matching to within a few link delays (see the call site for
+// why link-state floods jitter).
+func compareTrajectories(t *testing.T, shards int, ref, got []trace.RouteChange) {
+	t.Helper()
+	if len(ref) != len(got) {
+		t.Errorf("shards=%d: route-change streams differ (%d vs %d records)", shards, len(ref), len(got))
+		return
+	}
+	type state struct {
+		nh      netsim.NodeID
+		removed bool
+		at      time.Duration
+	}
+	collect := func(rcs []trace.RouteChange) map[[2]netsim.NodeID][]state {
+		m := make(map[[2]netsim.NodeID][]state)
+		for _, rc := range rcs {
+			k := [2]netsim.NodeID{rc.Node, rc.Dst}
+			m[k] = append(m[k], state{nh: rc.NextHop, removed: rc.Removed, at: rc.At})
+		}
+		return m
+	}
+	a, b := collect(ref), collect(got)
+	tol := 4 * netsim.DefaultConfig().LinkDelay
+	for k, sa := range a {
+		sb := b[k]
+		if len(sa) != len(sb) {
+			t.Errorf("shards=%d: entry (%d,%d) has %d changes sequentially, %d sharded",
+				shards, k[0], k[1], len(sa), len(sb))
+			continue
+		}
+		for i := range sa {
+			dt := sa[i].at - sb[i].at
+			if dt < 0 {
+				dt = -dt
+			}
+			if sa[i].nh != sb[i].nh || sa[i].removed != sb[i].removed || dt > tol {
+				t.Errorf("shards=%d: entry (%d,%d) change %d differs: seq %+v, sharded %+v",
+					shards, k[0], k[1], i, sa[i], sb[i])
+				break
+			}
+		}
+	}
+}
+
+// TestShardedHybridConservation re-runs the hybrid conservation check under
+// sharded execution: the combined packet+fluid accounting identity must
+// hold with per-shard counters folded at the end, and the sharding metrics
+// must show the machinery actually engaged.
+func TestShardedHybridConservation(t *testing.T) {
+	cfg := goldenConfig(ProtoRIP)
+	cfg.Flows = 32
+	cfg.Mode = ModeHybrid
+	cfg.Metrics = true
+	cfg.Shards = 4
+	tr, _, err := TraceObserved(cfg, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := tr.Metrics
+	if m == nil {
+		t.Fatal("Metrics enabled but TrialResult.Metrics is nil")
+	}
+	accounted := m["packets.delivered"] + m["drops.no_route"] +
+		m["drops.ttl_expired"] + m["drops.queue_overflow"] +
+		m["drops.link_failure"] + m["packets.in_flight_end"]
+	if accounted != m["packets.sent"] {
+		t.Errorf("conservation violated under sharding: delivered+drops+in_flight = %d, sent = %d\nsnapshot: %v",
+			accounted, m["packets.sent"], m)
+	}
+	if m["fluid.settles"] == 0 {
+		t.Error("fluid.settles = 0, want > 0 — the fluid engine never ran")
+	}
+	if m["shard.barrier_waits"] == 0 {
+		t.Error("shard.barrier_waits = 0, want > 0 — the run never synchronized")
+	}
+	if m["shard.cross_msgs"] == 0 {
+		t.Error("shard.cross_msgs = 0, want > 0 — no packet ever crossed a shard boundary")
+	}
+}

@@ -85,11 +85,7 @@ type Network struct {
 	// no-ops when the network is not Instrumented.
 	met     *obs.Metrics
 	tl      *obs.Timeline
-	nextID  uint64
 	started bool
-	// serCache memoizes serialization delay by packet size: the study's
-	// packet sizes are fixed per kind, so the division runs once per size.
-	serCache []time.Duration
 	// walkSeen/walkEpoch are WalkPath's loop-detection scratch; the epoch
 	// makes reuse O(1) instead of clearing per walk.
 	walkSeen  []uint32
@@ -97,6 +93,17 @@ type Network struct {
 	// flows is the optional fluid/hybrid traffic engine (see fluid.go);
 	// nil when every flow is packet-simulated.
 	flows *FlowSet
+	// root is the sequential/coordinator execution context; it aliases
+	// the fields above, so non-sharded runs behave exactly as before.
+	root *exec
+	// Sharded-mode state (see shard.go); all nil/false in sequential runs.
+	shards       []*exec
+	assign       []int32
+	coord        *sim.Coordinator
+	windowActive bool
+	obsIdx       []int    // scratch for the observer replay k-way merge
+	obsSeq       []obsRef // scratch for the merged replay order (rewind + step)
+	drainIdx     []int    // scratch for the outbox drain k-way merge
 }
 
 // New returns an empty network using the given engine and link parameters.
@@ -108,7 +115,9 @@ func New(s *sim.Simulator, cfg Config, o Observer) *Network {
 	if o == nil {
 		o = NopObserver{}
 	}
-	return &Network{sim: s, cfg: cfg, links: make(map[topology.Edge]*Link), observer: o}
+	n := &Network{sim: s, cfg: cfg, links: make(map[topology.Edge]*Link), observer: o}
+	n.root = &exec{id: -1, net: n, sim: s, stats: &n.stats}
+	return n
 }
 
 // FromGraph returns a network with one node per graph node and one link per
@@ -151,6 +160,8 @@ func (n *Network) Sim() *sim.Simulator { return n.sim }
 func (n *Network) Instrument(m *obs.Metrics, tl *obs.Timeline) {
 	n.met = m
 	n.tl = tl
+	n.root.met = m
+	n.root.tl = tl
 }
 
 // Metrics returns the attached obs counter set (nil when uninstrumented).
@@ -160,8 +171,16 @@ func (n *Network) Metrics() *obs.Metrics { return n.met }
 // uninstrumented).
 func (n *Network) Timeline() *obs.Timeline { return n.tl }
 
-// Stats returns the network-wide counters accumulated so far.
-func (n *Network) Stats() Stats { return n.stats }
+// Stats returns the network-wide counters accumulated so far. In a
+// sharded run the per-shard counters are folded in; call only between
+// windows (or after the run), never from a window event.
+func (n *Network) Stats() Stats {
+	s := n.stats
+	for _, ex := range n.shards {
+		s.add(ex.stats)
+	}
+	return s
+}
 
 // Len returns the number of nodes.
 func (n *Network) Len() int { return len(n.nodes) }
@@ -169,9 +188,11 @@ func (n *Network) Len() int { return len(n.nodes) }
 // AddNode creates a new node and returns it.
 func (n *Network) AddNode() *Node {
 	node := &Node{
-		id:  NodeID(len(n.nodes)),
-		net: n,
+		id:   NodeID(len(n.nodes)),
+		net:  n,
+		exec: n.root,
 	}
+	node.rng = sim.NewStream(n.sim.Seed(), uint64(node.id))
 	n.nodes = append(n.nodes, node)
 	return node
 }
@@ -344,23 +365,10 @@ func (n *Network) WalkPath(src, dst NodeID) (path []NodeID, ok bool) {
 }
 
 // serialization returns the time to clock size bytes onto a link,
-// memoized per size.
+// memoized per size (in the root execution context's cache; shard
+// contexts carry their own, see exec.serialization).
 func (n *Network) serialization(size int) time.Duration {
-	if size >= 0 && size < len(n.serCache) {
-		if d := n.serCache[size]; d != 0 {
-			return d
-		}
-	}
-	d := time.Duration(int64(size) * 8 * int64(time.Second) / n.cfg.LinkRateBps)
-	if size >= 0 && size < serCacheMax {
-		if size >= len(n.serCache) {
-			grown := make([]time.Duration, size+1)
-			copy(grown, n.serCache)
-			n.serCache = grown
-		}
-		n.serCache[size] = d
-	}
-	return d
+	return n.root.serialization(size)
 }
 
 // dropCounter maps a DropReason to its obs data-drop counter (reasons
@@ -372,19 +380,20 @@ var dropCounter = [numDropReasons]obs.Counter{
 	DropLinkFailure:   obs.DropLinkFailure,
 }
 
-func (n *Network) drop(where NodeID, pkt *Packet, reason DropReason) {
+// drop accounts a lost packet in the executing shard's context ex — the
+// context whose event loop is running the losing event, which for
+// propagation-phase losses can differ from the shard owning `where`.
+func (n *Network) drop(ex *exec, where NodeID, pkt *Packet, reason DropReason) {
 	if pkt.Control() {
-		n.stats.ControlDrops[reason]++
-		n.met.Inc(obs.ControlDropped)
+		ex.stats.ControlDrops[reason]++
+		ex.met.Inc(obs.ControlDropped)
 	} else {
-		n.stats.DataDrops[reason]++
-		n.met.Inc(dropCounter[reason])
-		n.met.PacketOut()
+		ex.stats.DataDrops[reason]++
+		ex.met.Inc(dropCounter[reason])
+		ex.met.PacketOut()
 	}
-	n.observer.PacketDropped(n.sim.Now(), where, pkt, reason)
-	if pm, ok := pkt.Payload.(PooledMessage); ok {
-		pm.Release()
-	}
+	ex.packetDropped(ex.sim.Now(), where, pkt, reason)
+	ex.releasePooled(pkt)
 }
 
 func insertSorted(s []NodeID, v NodeID) []NodeID {
@@ -461,18 +470,19 @@ var _ sim.Handler = (*port)(nil)
 
 // send enqueues a packet for transmission, dropping data packets when the
 // data queue is full. Control packets are exempt from the cap (reliable
-// transport stand-in, see DESIGN.md).
-func (p *port) send(pkt *Packet) {
+// transport stand-in, see DESIGN.md). ex is the caller's execution
+// context (the owner's shard during windows, the root at barriers).
+func (p *port) send(ex *exec, pkt *Packet) {
 	if p.busy {
 		if !pkt.Control() && p.inQ >= p.owner.net.cfg.QueueLimit {
 			p.counters.QueueDrops++
-			p.owner.net.drop(p.owner.id, pkt, DropQueueOverflow)
+			p.owner.net.drop(ex, p.owner.id, pkt, DropQueueOverflow)
 			return
 		}
 		p.push(pkt)
 		if !pkt.Control() {
 			p.inQ++
-			p.owner.net.met.ObserveQueueDepth(p.inQ)
+			ex.met.ObserveQueueDepth(p.inQ)
 		}
 		return
 	}
@@ -480,22 +490,28 @@ func (p *port) send(pkt *Packet) {
 }
 
 // transmit clocks the packet onto the wire. If the link is (or goes) down
-// before the packet would arrive, the packet is lost.
+// before the packet would arrive, the packet is lost. The serialization
+// event always runs on the owning node's shard, whoever initiated the
+// transmission.
 func (p *port) transmit(pkt *Packet) {
 	p.busy = true
 	p.counters.TxPackets++
 	p.counters.TxBytes += uint64(pkt.Size)
-	net := p.owner.net
-	net.sim.ScheduleHandler(net.serialization(pkt.Size), p, portSerDone, pkt)
+	ex := p.owner.exec
+	ex.sim.ScheduleHandler(ex.serialization(pkt.Size), p, portSerDone, pkt)
 }
 
 // HandleEvent implements sim.Handler: the serialization-done and
-// propagation-done phases of one packet's flight.
+// propagation-done phases of one packet's flight. Serialization events
+// run on the transmitting node's shard; propagation events on the
+// receiving node's shard — when those differ, the packet crosses through
+// the barrier inbox exchange with the link delay as lookahead.
 func (p *port) HandleEvent(kind int32, data any) {
 	pkt := data.(*Packet)
 	net := p.owner.net
 	switch kind {
 	case portSerDone:
+		ex := p.owner.exec
 		p.busy = false
 		if p.count > 0 {
 			next := p.pop()
@@ -505,13 +521,18 @@ func (p *port) HandleEvent(kind int32, data any) {
 			p.transmit(next)
 		}
 		if p.link.down {
-			net.drop(p.owner.id, pkt, DropLinkFailure)
+			net.drop(ex, p.owner.id, pkt, DropLinkFailure)
 			return
 		}
-		net.sim.ScheduleHandler(net.cfg.LinkDelay, p, portPropDone, pkt)
+		if peer := p.peer.exec; peer != ex {
+			ex.outbox[peer.id] = append(ex.outbox[peer.id],
+				crossMsg{at: ex.sim.Now() + net.cfg.LinkDelay, p: p, pkt: pkt})
+			return
+		}
+		ex.sim.ScheduleHandler(net.cfg.LinkDelay, p, portPropDone, pkt)
 	case portPropDone:
 		if p.link.down {
-			net.drop(p.owner.id, pkt, DropLinkFailure)
+			net.drop(p.peer.exec, p.owner.id, pkt, DropLinkFailure)
 			return
 		}
 		p.peer.receive(p.owner.id, pkt)

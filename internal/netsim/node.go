@@ -32,6 +32,14 @@ const noRoute NodeID = -1
 type Node struct {
 	id  NodeID
 	net *Network
+	// exec is the execution context the node's events run against: the
+	// network's root context, or the node's shard in a sharded run.
+	exec *exec
+	// rng is the node's private random stream. Protocol jitter draws from
+	// it instead of the shared simulator RNG so the sequence each node
+	// sees depends only on its own event order — which sharded execution
+	// preserves — rather than on the global interleaving.
+	rng sim.Stream
 	// ports is indexed by neighbor ID; nil entries are non-neighbors.
 	ports     []*port
 	neighbors []NodeID // sorted; gives protocols a deterministic iteration order
@@ -50,18 +58,26 @@ type Node struct {
 // ID returns the node's identifier.
 func (nd *Node) ID() NodeID { return nd.id }
 
-// Sim returns the driving simulator, for protocol timers and randomness.
-func (nd *Node) Sim() *sim.Simulator { return nd.net.sim }
+// Sim returns the simulator driving this node's events, for protocol
+// timers: the network's simulator, or the shard's in a sharded run.
+func (nd *Node) Sim() *sim.Simulator { return nd.exec.sim }
 
-// Metrics returns the network's obs counter set, for protocol-level
-// counters. It reads through the network at call time, so attach order
-// relative to Network.Instrument does not matter; nil (a no-op recorder)
-// when the network is uninstrumented.
-func (nd *Node) Metrics() *obs.Metrics { return nd.net.met }
+// Jitter returns a duration uniform on [lo, hi] from the node's private
+// random stream. Protocols must draw their timer jitter here rather than
+// from Sim().Rand(): the shared RNG's sequence depends on global event
+// interleaving, which sharded execution does not reproduce.
+func (nd *Node) Jitter(lo, hi time.Duration) time.Duration { return nd.rng.Jitter(lo, hi) }
 
-// Timeline returns the network's convergence timeline, for protocol-level
-// records (withdrawals, flap damping). Nil when uninstrumented.
-func (nd *Node) Timeline() *obs.Timeline { return nd.net.tl }
+// Metrics returns the obs counter set this node's events record into, for
+// protocol-level counters. It reads through the execution context at call
+// time, so attach order relative to Network.Instrument does not matter;
+// nil (a no-op recorder) when the network is uninstrumented.
+func (nd *Node) Metrics() *obs.Metrics { return nd.exec.met }
+
+// Timeline returns the convergence timeline this node's events record
+// into, for protocol-level records (withdrawals, flap damping). Nil when
+// uninstrumented.
+func (nd *Node) Timeline() *obs.Timeline { return nd.exec.tl }
 
 // NetworkSize returns the number of nodes in the network. Node IDs are
 // contiguous from 0, so protocols use it to size dense per-destination
@@ -153,32 +169,45 @@ func (nd *Node) SetRoute(dst, nextHop NodeID) {
 	if nd.portTo(nextHop) == nil {
 		panic(fmt.Sprintf("netsim: node %d: next hop %d is not a neighbor", nd.id, nextHop))
 	}
-	if nd.fibGet(dst) == nextHop {
+	prev := nd.fibGet(dst)
+	if prev == nextHop {
 		return
 	}
-	if nd.net.flows != nil {
-		// Settle fluid traffic for dst against the entry in force while
-		// it accrued, before the forwarding graph changes underneath it.
-		nd.net.flows.fibChanged(nd.id, dst)
-	}
+	ex := nd.ctx()
+	nd.fluidDirty(ex, dst)
 	nd.fibSet(dst, nextHop)
-	nd.net.met.Inc(obs.FIBChanges)
-	nd.net.tl.FIBChange(nd.net.sim.Now(), int(nd.id), int(dst), int(nextHop))
-	nd.net.observer.RouteChanged(nd.net.sim.Now(), nd.id, dst, nextHop, false)
+	ex.met.Inc(obs.FIBChanges)
+	ex.tl.FIBChange(ex.sim.Now(), int(nd.id), int(dst), int(nextHop))
+	ex.routeChanged(ex.sim.Now(), nd.id, dst, nextHop, prev, false)
+}
+
+// fluidDirty settles fluid traffic for dst against the entry in force
+// while it accrued, before the forwarding graph changes underneath it —
+// immediately in sequential/coordinator contexts, or deferred to the next
+// barrier from a shard window (the FlowSet runs only on the coordinator).
+func (nd *Node) fluidDirty(ex *exec, dst NodeID) {
+	if nd.net.flows == nil {
+		return
+	}
+	if ex.id >= 0 {
+		ex.dirty = append(ex.dirty, dirtyRoute{node: nd.id, dst: dst})
+		return
+	}
+	nd.net.flows.fibChanged(nd.id, dst)
 }
 
 // ClearRoute removes the forwarding entry for dst, if any.
 func (nd *Node) ClearRoute(dst NodeID) {
-	if nd.fibGet(dst) == noRoute {
+	prev := nd.fibGet(dst)
+	if prev == noRoute {
 		return
 	}
-	if nd.net.flows != nil {
-		nd.net.flows.fibChanged(nd.id, dst)
-	}
+	ex := nd.ctx()
+	nd.fluidDirty(ex, dst)
 	nd.fib[dst] = noRoute
-	nd.net.met.Inc(obs.FIBRemovals)
-	nd.net.tl.FIBRemove(nd.net.sim.Now(), int(nd.id), int(dst))
-	nd.net.observer.RouteChanged(nd.net.sim.Now(), nd.id, dst, 0, true)
+	ex.met.Inc(obs.FIBRemovals)
+	ex.tl.FIBRemove(ex.sim.Now(), int(nd.id), int(dst))
+	ex.routeChanged(ex.sim.Now(), nd.id, dst, 0, prev, true)
 }
 
 // NextHop returns the current forwarding entry for dst.
@@ -219,8 +248,8 @@ func (nd *Node) SetMultipath(dst NodeID, nextHops []NodeID) {
 			panic(fmt.Sprintf("netsim: node %d: multipath next hop %d is not a neighbor", nd.id, nh))
 		}
 	}
-	if nd.net.flows != nil && (len(nextHops) >= 2 || nd.multi[dst] != nil) {
-		nd.net.flows.fibChanged(nd.id, dst)
+	if len(nextHops) >= 2 || nd.multi[dst] != nil {
+		nd.fluidDirty(nd.ctx(), dst)
 	}
 	if len(nextHops) < 2 {
 		delete(nd.multi, dst)
@@ -260,55 +289,55 @@ func (nd *Node) SendControl(to NodeID, msg Message) {
 	if p == nil {
 		panic(fmt.Sprintf("netsim: node %d: SendControl to non-neighbor %d", nd.id, to))
 	}
-	net := nd.net
+	ex := nd.ctx()
 	pkt := &Packet{
-		ID:      net.nextID,
+		ID:      ex.nextID,
 		Src:     nd.id,
 		Dst:     to,
 		Size:    msg.SizeBytes(),
 		Payload: msg,
-		Created: net.sim.Now(),
+		Created: ex.sim.Now(),
 	}
-	net.nextID++
-	net.stats.ControlSent++
-	net.stats.ControlBytes += uint64(pkt.Size)
-	net.met.Inc(obs.ControlSent)
-	net.met.Add(obs.ControlBytes, uint64(pkt.Size))
-	p.send(pkt)
+	ex.nextID++
+	ex.stats.ControlSent++
+	ex.stats.ControlBytes += uint64(pkt.Size)
+	ex.met.Inc(obs.ControlSent)
+	ex.met.Add(obs.ControlBytes, uint64(pkt.Size))
+	p.send(ex, pkt)
 }
 
 // SendData injects a new data packet addressed to dst and forwards it
 // according to the node's FIB.
 func (nd *Node) SendData(dst NodeID, size, ttl int) {
-	net := nd.net
+	ex := nd.ctx()
 	pkt := &Packet{
-		ID:      net.nextID,
+		ID:      ex.nextID,
 		Src:     nd.id,
 		Dst:     dst,
 		TTL:     ttl,
 		Size:    size,
-		Created: net.sim.Now(),
+		Created: ex.sim.Now(),
 	}
-	net.nextID++
-	net.stats.DataSent++
-	net.met.Inc(obs.PacketsSent)
-	net.met.PacketIn()
-	if net.cfg.RecordHops {
+	ex.nextID++
+	ex.stats.DataSent++
+	ex.met.Inc(obs.PacketsSent)
+	ex.met.PacketIn()
+	if nd.net.cfg.RecordHops {
 		pkt.Trace = append(pkt.Trace, nd.id)
 	}
-	nd.forward(pkt)
+	nd.forward(ex, pkt)
 }
 
-// receive handles a packet arriving from a neighbor.
+// receive handles a packet arriving from a neighbor. It always executes
+// on the node's own shard (propagation events run on the receiving side).
 func (nd *Node) receive(from NodeID, pkt *Packet) {
+	ex := nd.exec
 	if pkt.Control() {
-		nd.net.met.Inc(obs.ControlReceived)
+		ex.met.Inc(obs.ControlReceived)
 		if nd.proto != nil {
 			nd.proto.HandleMessage(from, pkt.Payload)
 		}
-		if pm, ok := pkt.Payload.(PooledMessage); ok {
-			pm.Release()
-		}
+		ex.releasePooled(pkt)
 		return
 	}
 	pkt.HopCount++
@@ -316,18 +345,18 @@ func (nd *Node) receive(from NodeID, pkt *Packet) {
 		pkt.Trace = append(pkt.Trace, nd.id)
 	}
 	if pkt.Dst == nd.id {
-		nd.net.stats.DataDelivered++
-		nd.net.met.Inc(obs.PacketsDelivered)
-		nd.net.met.PacketOut()
-		nd.net.observer.PacketDelivered(nd.net.sim.Now(), pkt)
+		ex.stats.DataDelivered++
+		ex.met.Inc(obs.PacketsDelivered)
+		ex.met.PacketOut()
+		ex.packetDelivered(ex.sim.Now(), pkt)
 		return
 	}
 	pkt.TTL--
 	if pkt.TTL <= 0 {
-		nd.net.drop(nd.id, pkt, DropTTLExpired)
+		nd.net.drop(ex, nd.id, pkt, DropTTLExpired)
 		return
 	}
-	nd.forward(pkt)
+	nd.forward(ex, pkt)
 }
 
 // forward looks up the FIB and queues the packet on the corresponding
@@ -336,7 +365,7 @@ func (nd *Node) receive(from NodeID, pkt *Packet) {
 // entry exists, the packet deflects to the backup immediately (fast
 // reroute: the backup lives below the routing table, like a line-card
 // protection entry).
-func (nd *Node) forward(pkt *Packet) {
+func (nd *Node) forward(ex *exec, pkt *Packet) {
 	var p *port
 	if nd.multi != nil {
 		if set := nd.multi[pkt.Dst]; len(set) > 1 {
@@ -367,11 +396,11 @@ func (nd *Node) forward(pkt *Packet) {
 		}
 	}
 	if p == nil {
-		nd.net.drop(nd.id, pkt, DropNoRoute)
+		nd.net.drop(ex, nd.id, pkt, DropNoRoute)
 		return
 	}
-	nd.net.met.Inc(obs.PacketsForwarded)
-	p.send(pkt)
+	ex.met.Inc(obs.PacketsForwarded)
+	p.send(ex, pkt)
 }
 
 // CBR generates constant-bit-rate data traffic from one node to a fixed

@@ -1,0 +1,497 @@
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"routeconv/internal/obs"
+	"routeconv/internal/sim"
+)
+
+// This file implements sharded (parallel-in-one-trial) execution with
+// conservative time synchronization. The topology is partitioned into K
+// shards; each shard's nodes run their events on a private simulator
+// driven by its own goroutine, while the original simulator (the "control
+// sim") keeps the harness events — failure injection, detection timers,
+// fluid-engine ticks. The link propagation delay is the lookahead: a
+// packet finishing serialization at time t cannot affect another shard
+// before t+LinkDelay, so all shards can safely run the window
+// [T, T') in parallel whenever T' ≤ min(next pending event) + LinkDelay.
+// At each window barrier the coordinator replays buffered observer
+// events, releases cross-shard pooled messages, drains cross-shard
+// packet inboxes in deterministic (timestamp, shard, FIFO) order, and
+// runs the control events due at the barrier instant. See DESIGN.md
+// ("Sharded execution") for the full protocol and ordering argument.
+
+// exec is the execution context one node's events run against: the event
+// loop, packet counters, instrumentation sinks, and cross-shard buffers
+// of the shard that owns the node. In sequential mode there is a single
+// root exec (id -1) aliasing the Network's own simulator, stats, and
+// instrumentation, so the default path is bit-for-bit the pre-sharding
+// behavior.
+type exec struct {
+	id  int32
+	net *Network
+	sim *sim.Simulator
+	// stats aliases Network.stats on the root exec; shard execs own a
+	// private set merged by Network.Stats.
+	stats *Stats
+	// met and tl are per-shard instrumentation (nil-safe), absorbed into
+	// the root set at FinishSharding.
+	met *obs.Metrics
+	tl  *obs.Timeline
+	// nextID is the packet ID sequence. Per-shard spaces overlap; nothing
+	// semantic reads Packet.ID.
+	nextID uint64
+	// serCache memoizes serialization delay per shard so shards never
+	// write shared memory mid-window.
+	serCache []time.Duration
+	// events buffers observer callbacks raised during a window, replayed
+	// by the coordinator at the barrier in merged (at, shard, idx) order.
+	// Root exec calls the observer directly instead.
+	events []obsEvent
+	// outbox[d] holds packets that finished serialization here but arrive
+	// on shard d; the coordinator drains them at the barrier.
+	outbox [][]crossMsg
+	// releases holds pooled messages whose owner lives on another shard;
+	// released at the barrier while all shards are parked.
+	releases []PooledMessage
+	// dirty holds FIB changes awaiting a fluid-engine settle at the
+	// barrier (the FlowSet only ever runs on the coordinator).
+	dirty []dirtyRoute
+}
+
+// dirtyRoute is one deferred fluid-engine settle: node's entry for dst
+// changed during a window.
+type dirtyRoute struct {
+	node, dst NodeID
+}
+
+// crossMsg is one packet crossing a shard boundary: it arrives on port
+// p's peer (in another shard) at time at.
+type crossMsg struct {
+	at  time.Duration
+	p   *port
+	pkt *Packet
+}
+
+// Buffered observer event kinds.
+const (
+	obsRoute uint8 = iota
+	obsDelivered
+	obsDropped
+)
+
+// obsEvent is one buffered observer callback. Packets are snapshotted by
+// value: a dropped control packet's pooled payload may be recycled before
+// the replay, but the scalar fields observers read stay intact. Route
+// events additionally carry the entry's previous next hop (prev), which
+// lets the barrier replay rewind the FIBs to their start-of-window state
+// and step them forward change by change — observers that walk forwarding
+// tables (path sampling) then see exactly the intermediate states a
+// sequential run would have.
+type obsEvent struct {
+	kind    uint8
+	removed bool
+	reason  DropReason
+	node    NodeID // route: node; dropped: losing node
+	dst     NodeID
+	nh      NodeID
+	prev    NodeID // route: the entry's value before the change
+	at      time.Duration
+	pkt     Packet
+}
+
+// obsRef locates one buffered observer event: shard index and position in
+// that shard's buffer. The barrier replay materializes the k-way merge as
+// a slice of refs so it can walk the window's events in both directions.
+type obsRef struct {
+	shard, idx int32
+}
+
+// ctx returns the execution context for an action on the node right now:
+// the node's shard while a window is running, the root context while the
+// coordinator (or a sequential run) is executing. windowActive is only
+// flipped by the coordinator while all workers are parked, so the read is
+// ordered by the barrier channels.
+func (nd *Node) ctx() *exec {
+	if nd.net.windowActive {
+		return nd.exec
+	}
+	return nd.net.root
+}
+
+// serialization returns the time to clock size bytes onto a link,
+// memoized per size in this exec's private cache.
+func (ex *exec) serialization(size int) time.Duration {
+	if size >= 0 && size < len(ex.serCache) {
+		if d := ex.serCache[size]; d != 0 {
+			return d
+		}
+	}
+	d := time.Duration(int64(size) * 8 * int64(time.Second) / ex.net.cfg.LinkRateBps)
+	if size >= 0 && size < serCacheMax {
+		if size >= len(ex.serCache) {
+			grown := make([]time.Duration, size+1)
+			copy(grown, ex.serCache)
+			ex.serCache = grown
+		}
+		ex.serCache[size] = d
+	}
+	return d
+}
+
+// routeChanged raises or buffers the RouteChanged observer callback. prev
+// is the FIB entry's value before the change (noRoute if absent), recorded
+// for the barrier replay's rewind; the root context ignores it.
+func (ex *exec) routeChanged(at time.Duration, node, dst, nextHop, prev NodeID, removed bool) {
+	if ex.id < 0 {
+		ex.net.observer.RouteChanged(at, node, dst, nextHop, removed)
+		return
+	}
+	ex.events = append(ex.events, obsEvent{kind: obsRoute, at: at, node: node, dst: dst, nh: nextHop, prev: prev, removed: removed})
+}
+
+// packetDelivered raises or buffers the PacketDelivered observer callback.
+func (ex *exec) packetDelivered(at time.Duration, pkt *Packet) {
+	if ex.id < 0 {
+		ex.net.observer.PacketDelivered(at, pkt)
+		return
+	}
+	ex.events = append(ex.events, obsEvent{kind: obsDelivered, at: at, pkt: *pkt})
+}
+
+// packetDropped raises or buffers the PacketDropped observer callback.
+func (ex *exec) packetDropped(at time.Duration, where NodeID, pkt *Packet, reason DropReason) {
+	if ex.id < 0 {
+		ex.net.observer.PacketDropped(at, where, pkt, reason)
+		return
+	}
+	ex.events = append(ex.events, obsEvent{kind: obsDropped, at: at, node: where, reason: reason, pkt: *pkt})
+}
+
+// releasePooled returns a packet's pooled payload to its owner's free
+// list — immediately when the owner's shard is the executing one (or in
+// any coordinator/sequential context), otherwise at the next barrier.
+func (ex *exec) releasePooled(pkt *Packet) {
+	pm, ok := pkt.Payload.(PooledMessage)
+	if !ok {
+		return
+	}
+	if ex.id >= 0 && ex.net.assign[pkt.Src] != ex.id {
+		ex.releases = append(ex.releases, pm)
+		return
+	}
+	pm.Release()
+}
+
+// EnableSharding switches the network to sharded execution: assign maps
+// every node to a shard in [0, k), each shard gets a private simulator
+// (seeded identically to the control sim, so per-node random streams
+// derive the same sequences), and a coordinator goroutine pool is
+// started. Call after Instrument and before protocols are attached —
+// protocols capture their node's simulator at construction.
+func (n *Network) EnableSharding(assign []int32, k int) {
+	if n.started {
+		panic("netsim: EnableSharding after Start")
+	}
+	if len(assign) != len(n.nodes) {
+		panic(fmt.Sprintf("netsim: EnableSharding: %d assignments for %d nodes", len(assign), len(n.nodes)))
+	}
+	if k < 1 {
+		panic("netsim: EnableSharding with no shards")
+	}
+	n.assign = assign
+	n.shards = make([]*exec, k)
+	sims := make([]*sim.Simulator, k)
+	for i := 0; i < k; i++ {
+		sims[i] = sim.New(n.sim.Seed())
+		ex := &exec{
+			id:     int32(i),
+			net:    n,
+			sim:    sims[i],
+			stats:  &Stats{},
+			outbox: make([][]crossMsg, k),
+		}
+		if n.met != nil {
+			ex.met = obs.NewMetrics()
+		}
+		if n.tl != nil {
+			ex.tl = obs.NewTimeline()
+		}
+		n.shards[i] = ex
+	}
+	for _, nd := range n.nodes {
+		s := assign[nd.id]
+		if s < 0 || int(s) >= k {
+			panic(fmt.Sprintf("netsim: node %d assigned to shard %d of %d", nd.id, s, k))
+		}
+		nd.exec = n.shards[s]
+	}
+	n.obsIdx = make([]int, k)
+	n.drainIdx = make([]int, k)
+	n.Links() // prebuild the cached link list before goroutines exist
+	n.coord = sim.NewCoordinator(sims)
+}
+
+// Sharded reports whether the network runs in sharded mode.
+func (n *Network) Sharded() bool { return n.coord != nil }
+
+// FiredEvents returns the number of events executed across the control
+// simulator and all shard simulators.
+func (n *Network) FiredEvents() uint64 {
+	total := n.sim.Fired()
+	for _, ex := range n.shards {
+		total += ex.sim.Fired()
+	}
+	return total
+}
+
+// RunSharded drives the simulation from the current time to end using
+// lockstep windows; it replaces the sequential sim.RunUntil(end). The
+// window bound is adaptive: T' = min(earliest pending shard event +
+// LinkDelay, earliest control event, end), so idle stretches cost one
+// barrier instead of one barrier per lookahead.
+func (n *Network) RunSharded(end time.Duration) {
+	if n.coord == nil {
+		panic("netsim: RunSharded without EnableSharding")
+	}
+	s := n.sim
+	la := n.cfg.LinkDelay
+	for {
+		next := end
+		if t, ok := n.coord.MinNextEvent(); ok && t+la < next {
+			next = t + la
+		}
+		if t, ok := s.NextEventTime(); ok && t < next {
+			next = t
+		}
+		if now := s.Now(); next < now {
+			next = now
+		}
+		final := next >= end
+		if final {
+			next = end
+		}
+		n.windowActive = true
+		if final {
+			// Inclusive: shard events at exactly end fire, matching the
+			// sequential RunUntil(end).
+			n.coord.RunWindowUntil(end)
+		} else {
+			n.coord.RunWindow(next)
+		}
+		n.windowActive = false
+		n.met.Inc(obs.ShardBarrierWaits)
+		n.flushWindow(next)
+		// Control events at exactly the barrier instant run after the
+		// window flush: in the sequential schedule, harness closures,
+		// detection timers, and fluid ticks always carry earlier sequence
+		// numbers than same-instant node events.
+		s.RunUntil(next)
+		if final {
+			// Control events at end may have raised observer events or
+			// deferred work through shard contexts; flush once more.
+			n.flushWindow(end)
+			return
+		}
+	}
+}
+
+// flushWindow performs the barrier bookkeeping at time t: replay buffered
+// observer events in deterministic merged order, release cross-shard
+// pooled messages, settle deferred fluid-engine changes, and deliver
+// cross-shard packets into their destination shards.
+func (n *Network) flushWindow(t time.Duration) {
+	n.flushObs()
+	n.flushReleases()
+	// Advance the control clock (no control events exist strictly below
+	// t) so fluid settles timestamp at the barrier instant.
+	n.sim.RunBefore(t)
+	n.flushDirty()
+	n.drainOutboxes()
+}
+
+// flushObs replays every buffered observer event, k-way merged across
+// shards by (time, shard). Within one shard the buffer is already in
+// execution order.
+//
+// Replay is rewind-then-step: the merged sequence is first walked
+// backwards restoring each changed FIB entry to its pre-change value, then
+// forwards re-applying every change just before its observer callback
+// fires. Observers that walk forwarding tables (the trace collector's
+// path sampler) therefore see the exact intermediate FIB state at each
+// event's timestamp — not the end-of-window state the shards left behind —
+// and the walk matches a sequential run's, because link up/down state only
+// changes at barriers and is constant within the window. The forward pass
+// ends with every entry back at its end-of-window value.
+func (n *Network) flushObs() {
+	for i := range n.obsIdx {
+		n.obsIdx[i] = 0
+	}
+	n.obsSeq = n.obsSeq[:0]
+	for {
+		best := -1
+		var bestAt time.Duration
+		for si, ex := range n.shards {
+			i := n.obsIdx[si]
+			if i >= len(ex.events) {
+				continue
+			}
+			if at := ex.events[i].at; best < 0 || at < bestAt {
+				best, bestAt = si, at
+			}
+		}
+		if best < 0 {
+			break
+		}
+		n.obsSeq = append(n.obsSeq, obsRef{shard: int32(best), idx: int32(n.obsIdx[best])})
+		n.obsIdx[best]++
+	}
+	for i := len(n.obsSeq) - 1; i >= 0; i-- {
+		r := n.obsSeq[i]
+		e := &n.shards[r.shard].events[r.idx]
+		if e.kind == obsRoute {
+			n.nodes[e.node].fibSet(e.dst, e.prev)
+		}
+	}
+	for _, r := range n.obsSeq {
+		e := &n.shards[r.shard].events[r.idx]
+		switch e.kind {
+		case obsRoute:
+			nh := e.nh
+			if e.removed {
+				nh = noRoute
+			}
+			n.nodes[e.node].fibSet(e.dst, nh)
+			n.observer.RouteChanged(e.at, e.node, e.dst, e.nh, e.removed)
+		case obsDelivered:
+			n.observer.PacketDelivered(e.at, &e.pkt)
+		case obsDropped:
+			n.observer.PacketDropped(e.at, e.node, &e.pkt, e.reason)
+		}
+	}
+	for _, ex := range n.shards {
+		clearObsEvents(ex.events)
+		ex.events = ex.events[:0]
+	}
+}
+
+// clearObsEvents zeroes replayed events so buffered packet snapshots do
+// not pin payloads or hop traces past the barrier.
+func clearObsEvents(evs []obsEvent) {
+	for i := range evs {
+		evs[i] = obsEvent{}
+	}
+}
+
+// flushReleases returns deferred pooled messages to their owners' free
+// lists; safe because every shard is parked.
+func (n *Network) flushReleases() {
+	for _, ex := range n.shards {
+		for i, pm := range ex.releases {
+			pm.Release()
+			ex.releases[i] = nil
+		}
+		ex.releases = ex.releases[:0]
+	}
+}
+
+// flushDirty applies deferred fluid-engine settles. The settle runs one
+// window after the FIB mutation (attribution error bounded by the
+// lookahead); conservation stays exact because the FlowSet accounts
+// elapsed time against whatever graph is current.
+func (n *Network) flushDirty() {
+	if n.flows == nil {
+		return
+	}
+	for _, ex := range n.shards {
+		for _, d := range ex.dirty {
+			n.flows.fibChanged(d.node, d.dst)
+		}
+		ex.dirty = ex.dirty[:0]
+	}
+}
+
+// drainOutboxes schedules every cross-shard packet into its destination
+// shard's simulator. For one destination, sources are merged by
+// (timestamp, source shard); each source buffer is FIFO and timestamp-
+// nondecreasing (fixed LinkDelay on top of time-ordered execution), so
+// the merged order — and therefore the destination's event sequence — is
+// deterministic regardless of how windows interleaved.
+func (n *Network) drainOutboxes() {
+	var total uint64
+	for d, dst := range n.shards {
+		for i := range n.drainIdx {
+			n.drainIdx[i] = 0
+		}
+		for {
+			best := -1
+			var bestAt time.Duration
+			for si, src := range n.shards {
+				box := src.outbox[d]
+				i := n.drainIdx[si]
+				if i >= len(box) {
+					continue
+				}
+				if at := box[i].at; best < 0 || at < bestAt {
+					best, bestAt = si, at
+				}
+			}
+			if best < 0 {
+				break
+			}
+			m := &n.shards[best].outbox[d][n.drainIdx[best]]
+			n.drainIdx[best]++
+			dst.sim.ScheduleHandlerAt(m.at, m.p, portPropDone, m.pkt)
+			total++
+		}
+		for _, src := range n.shards {
+			box := src.outbox[d]
+			for i := range box {
+				box[i] = crossMsg{}
+			}
+			src.outbox[d] = box[:0]
+		}
+	}
+	n.met.Add(obs.ShardCrossMsgs, total)
+}
+
+// FinishSharding stops the coordinator goroutines and folds per-shard
+// statistics, metrics, and timelines into the root set. Call once after
+// RunSharded; the network must not run further afterwards.
+func (n *Network) FinishSharding() {
+	if n.coord == nil {
+		return
+	}
+	n.coord.Stop()
+	n.coord = nil
+	for _, ex := range n.shards {
+		n.stats.add(ex.stats)
+		n.met.Absorb(ex.met)
+	}
+	if n.tl != nil {
+		tls := make([]*obs.Timeline, len(n.shards))
+		for i, ex := range n.shards {
+			tls[i] = ex.tl
+		}
+		n.tl.AbsorbSorted(tls...)
+	}
+	n.shards = nil
+	n.assign = nil
+	for _, nd := range n.nodes {
+		nd.exec = n.root
+	}
+}
+
+// add accumulates other's counters into s.
+func (s *Stats) add(other *Stats) {
+	s.DataSent += other.DataSent
+	s.DataDelivered += other.DataDelivered
+	s.ControlSent += other.ControlSent
+	s.ControlBytes += other.ControlBytes
+	for i := range s.DataDrops {
+		s.DataDrops[i] += other.DataDrops[i]
+		s.ControlDrops[i] += other.ControlDrops[i]
+	}
+}

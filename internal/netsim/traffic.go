@@ -15,6 +15,18 @@ type Source interface {
 	Stop()
 }
 
+// trafficSalt decorrelates per-source random streams from the per-node
+// jitter streams that share the simulator seed.
+const trafficSalt = 0x7472616666696373 // "traffics"
+
+// sourceStream derives the private random stream for the node→dst traffic
+// source. Per-source streams keep inter-arrival sequences identical
+// across shard counts: they depend only on the source's own draw order.
+func sourceStream(node *Node, dst NodeID) sim.Stream {
+	return sim.NewStream(node.Sim().Seed()^trafficSalt,
+		uint64(uint32(node.ID()))<<32|uint64(uint32(dst)))
+}
+
 // poisson sends packets with exponentially distributed inter-arrival
 // times.
 type poisson struct {
@@ -23,6 +35,7 @@ type poisson struct {
 	meanInterval time.Duration
 	size, ttl    int
 	stopAt       time.Duration
+	rng          sim.Stream
 	event        sim.Event
 }
 
@@ -34,7 +47,7 @@ func StartPoisson(node *Node, dst NodeID, meanInterval time.Duration, size, ttl 
 	if meanInterval <= 0 {
 		panic("netsim: Poisson mean interval must be positive")
 	}
-	p := &poisson{node: node, dst: dst, meanInterval: meanInterval, size: size, ttl: ttl, stopAt: stop}
+	p := &poisson{node: node, dst: dst, meanInterval: meanInterval, size: size, ttl: ttl, stopAt: stop, rng: sourceStream(node, dst)}
 	p.event = node.Sim().ScheduleHandlerAt(start, p, 0, nil)
 	return p
 }
@@ -57,7 +70,7 @@ func (p *poisson) HandleEvent(int32, any) {
 		return
 	}
 	p.node.SendData(p.dst, p.size, p.ttl)
-	gap := exp(p.node.Sim(), p.meanInterval)
+	gap := exp(&p.rng, p.meanInterval)
 	if now+gap >= p.stopAt {
 		p.event = sim.Event{}
 		return
@@ -82,6 +95,7 @@ type onOff struct {
 	stopAt          time.Duration
 	on              bool
 	until           time.Duration // end of the current period
+	rng             sim.Stream
 	event           sim.Event
 }
 
@@ -98,6 +112,7 @@ func StartOnOff(node *Node, dst NodeID, interval, onMean, offMean time.Duration,
 		node: node, dst: dst, interval: interval,
 		onMean: onMean, offMean: offMean,
 		size: size, ttl: ttl, stopAt: stop,
+		rng: sourceStream(node, dst),
 	}
 	o.event = node.Sim().ScheduleHandlerAt(start, o, onOffBegin, nil)
 	return o
@@ -128,7 +143,7 @@ func (o *onOff) begin() {
 		return
 	}
 	o.on = true
-	o.until = now + exp(o.node.Sim(), o.onMean)
+	o.until = now + exp(&o.rng, o.onMean)
 	o.tick()
 }
 
@@ -142,7 +157,7 @@ func (o *onOff) tick() {
 		// Go silent, then begin the next burst — unless the burst would
 		// open at or past the deadline.
 		o.on = false
-		gap := exp(o.node.Sim(), o.offMean)
+		gap := exp(&o.rng, o.offMean)
 		if now+gap >= o.stopAt {
 			o.event = sim.Event{}
 			return
@@ -161,9 +176,9 @@ func (o *onOff) tick() {
 }
 
 // exp draws an exponentially distributed duration with the given mean from
-// the simulator's random source.
-func exp(s *sim.Simulator, mean time.Duration) time.Duration {
-	d := time.Duration(-math.Log(1-s.Rand().Float64()) * float64(mean))
+// the source's private random stream.
+func exp(st *sim.Stream, mean time.Duration) time.Duration {
+	d := time.Duration(-math.Log(1-st.Float64()) * float64(mean))
 	if d <= 0 {
 		d = 1 // never schedule at zero to keep the event loop finite
 	}

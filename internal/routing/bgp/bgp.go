@@ -635,7 +635,7 @@ func (p *Protocol) mraiInterval() time.Duration {
 	if lo < 0 {
 		lo = 0
 	}
-	return p.node.Sim().Jitter(lo, p.cfg.MRAI+p.cfg.MRAIJitter)
+	return p.node.Jitter(lo, p.cfg.MRAI+p.cfg.MRAIJitter)
 }
 
 func contains(path []routing.NodeID, id routing.NodeID) bool {

@@ -73,7 +73,7 @@ func New(node *netsim.Node, cfg routing.VectorConfig) *Protocol {
 		lastHeard: make(map[routing.NodeID]time.Duration),
 		up:        make(map[routing.NodeID]bool),
 	}
-	p.adv = routing.NewAdvertiser(node.Sim(), &p.cfg, p.broadcastFull, p.broadcastChanged)
+	p.adv = routing.NewAdvertiser(node, &p.cfg, p.broadcastFull, p.broadcastChanged)
 	p.hk = sim.NewTimer(node.Sim(), p.housekeep)
 	return p
 }

@@ -85,7 +85,7 @@ func New(node *netsim.Node, cfg routing.VectorConfig) *Protocol {
 		inf:  int32(cfg.Infinity),
 		up:   make(map[routing.NodeID]bool),
 	}
-	p.adv = routing.NewAdvertiser(node.Sim(), &p.cfg, p.broadcastFull, p.broadcastChanged)
+	p.adv = routing.NewAdvertiser(node, &p.cfg, p.broadcastFull, p.broadcastChanged)
 	p.hk = sim.NewTimer(node.Sim(), p.housekeep)
 	return p
 }

@@ -111,7 +111,7 @@ func (cfg *VectorConfig) PackEntries(entries []VectorEntry) []*VectorUpdate {
 // supplies the two broadcast callbacks.
 type Advertiser struct {
 	cfg  *VectorConfig
-	sim  *sim.Simulator
+	node *netsim.Node
 	full func() // send the full table to every up neighbor
 	chg  func() // send only changed routes to every up neighbor
 
@@ -121,10 +121,12 @@ type Advertiser struct {
 }
 
 // NewAdvertiser returns an Advertiser; full and changed must be non-nil.
-func NewAdvertiser(s *sim.Simulator, cfg *VectorConfig, full, changed func()) *Advertiser {
-	a := &Advertiser{cfg: cfg, sim: s, full: full, chg: changed}
-	a.periodic = sim.NewTimer(s, a.onPeriodic)
-	a.damp = sim.NewTimer(s, a.onDampExpired)
+// Jitter is drawn from the node's private random stream, so the advertiser's
+// timing does not depend on the global draw order (a sharded-run invariant).
+func NewAdvertiser(node *netsim.Node, cfg *VectorConfig, full, changed func()) *Advertiser {
+	a := &Advertiser{cfg: cfg, node: node, full: full, chg: changed}
+	a.periodic = sim.NewTimer(node.Sim(), a.onPeriodic)
+	a.damp = sim.NewTimer(node.Sim(), a.onDampExpired)
 	return a
 }
 
@@ -133,7 +135,7 @@ func NewAdvertiser(s *sim.Simulator, cfg *VectorConfig, full, changed func()) *A
 // (as on a real network — this phase is what RIP's recovery time in
 // Figure 3 hinges on).
 func (a *Advertiser) Start() {
-	a.periodic.Reset(a.sim.Jitter(0, a.cfg.PeriodicInterval))
+	a.periodic.Reset(a.node.Jitter(0, a.cfg.PeriodicInterval))
 }
 
 // RouteChanged notes that at least one route changed and schedules a
@@ -147,7 +149,7 @@ func (a *Advertiser) RouteChanged() {
 		return
 	}
 	a.pending = true
-	a.damp.ResetIfStopped(a.sim.Jitter(a.cfg.DampMin, a.cfg.DampMax))
+	a.damp.ResetIfStopped(a.node.Jitter(a.cfg.DampMin, a.cfg.DampMax))
 }
 
 func (a *Advertiser) onDampExpired() {
@@ -168,7 +170,7 @@ func (a *Advertiser) onPeriodic() {
 		if lo < 0 {
 			lo = 0
 		}
-		next = a.sim.Jitter(lo, next+j)
+		next = a.node.Jitter(lo, next+j)
 	}
 	a.periodic.Reset(next)
 }

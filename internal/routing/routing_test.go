@@ -5,8 +5,16 @@ import (
 	"testing/quick"
 	"time"
 
+	"routeconv/internal/netsim"
 	"routeconv/internal/sim"
+	"routeconv/internal/topology"
 )
+
+// advNode builds a one-node network on s: the Advertiser draws jitter from
+// its node's private random stream.
+func advNode(s *sim.Simulator) *netsim.Node {
+	return netsim.FromGraph(s, topology.Line(1), netsim.DefaultConfig(), nil).Node(0)
+}
 
 func TestDefaultVectorConfig(t *testing.T) {
 	cfg := DefaultVectorConfig()
@@ -94,7 +102,7 @@ func TestAdvertiserTriggeredIsDamped(t *testing.T) {
 	s := sim.New(1)
 	cfg := DefaultVectorConfig()
 	var chgCalls []time.Duration
-	a := NewAdvertiser(s, &cfg, func() {}, func() { chgCalls = append(chgCalls, s.Now()) })
+	a := NewAdvertiser(advNode(s), &cfg, func() {}, func() { chgCalls = append(chgCalls, s.Now()) })
 	s.Schedule(10*time.Second, a.RouteChanged)
 	s.RunUntil(30 * time.Second)
 	if len(chgCalls) != 1 {
@@ -110,7 +118,7 @@ func TestAdvertiserDampingCoalesces(t *testing.T) {
 	s := sim.New(1)
 	cfg := DefaultVectorConfig()
 	var chgCalls []time.Duration
-	a := NewAdvertiser(s, &cfg, func() {}, func() { chgCalls = append(chgCalls, s.Now()) })
+	a := NewAdvertiser(advNode(s), &cfg, func() {}, func() { chgCalls = append(chgCalls, s.Now()) })
 	// A burst of changes within the damping window yields one update.
 	s.Schedule(0, a.RouteChanged)
 	s.Schedule(10*time.Millisecond, a.RouteChanged)
@@ -125,7 +133,7 @@ func TestAdvertiserConsecutiveUpdatesSpaced(t *testing.T) {
 	s := sim.New(1)
 	cfg := DefaultVectorConfig()
 	var chgCalls []time.Duration
-	a := NewAdvertiser(s, &cfg, func() {}, func() { chgCalls = append(chgCalls, s.Now()) })
+	a := NewAdvertiser(advNode(s), &cfg, func() {}, func() { chgCalls = append(chgCalls, s.Now()) })
 	// Changes 6 s apart (wider than the damping window) yield two updates
 	// spaced at least DampMin apart.
 	s.Schedule(0, a.RouteChanged)
@@ -143,7 +151,7 @@ func TestAdvertiserNoPendingNoSend(t *testing.T) {
 	s := sim.New(1)
 	cfg := DefaultVectorConfig()
 	count := 0
-	a := NewAdvertiser(s, &cfg, func() {}, func() { count++ })
+	a := NewAdvertiser(advNode(s), &cfg, func() {}, func() { count++ })
 	a.RouteChanged()
 	s.RunUntil(25 * time.Second)
 	if count != 1 {
@@ -156,7 +164,7 @@ func TestAdvertiserTriggeredDisabled(t *testing.T) {
 	cfg := DefaultVectorConfig()
 	cfg.TriggeredUpdates = false
 	count := 0
-	a := NewAdvertiser(s, &cfg, func() {}, func() { count++ })
+	a := NewAdvertiser(advNode(s), &cfg, func() {}, func() { count++ })
 	a.RouteChanged()
 	s.RunUntil(10 * time.Second)
 	if count != 0 {
@@ -168,7 +176,7 @@ func TestAdvertiserPeriodic(t *testing.T) {
 	s := sim.New(7)
 	cfg := DefaultVectorConfig()
 	var fullCalls []time.Duration
-	a := NewAdvertiser(s, &cfg, func() { fullCalls = append(fullCalls, s.Now()) }, func() {})
+	a := NewAdvertiser(advNode(s), &cfg, func() { fullCalls = append(fullCalls, s.Now()) }, func() {})
 	a.Start()
 	s.RunUntil(5 * time.Minute)
 	if len(fullCalls) < 8 || len(fullCalls) > 12 {
@@ -192,7 +200,7 @@ func TestAdvertiserPeriodicCoversPending(t *testing.T) {
 	cfg := DefaultVectorConfig()
 	cfg.DampMin, cfg.DampMax = 40*time.Second, 50*time.Second // damp longer than a period
 	full, chg := 0, 0
-	a := NewAdvertiser(s, &cfg, func() { full++ }, func() { chg++ })
+	a := NewAdvertiser(advNode(s), &cfg, func() { full++ }, func() { chg++ })
 	a.Start()
 	a.RouteChanged() // damping armed for 40-50 s
 	a.RouteChanged() // coalesces

@@ -1,0 +1,166 @@
+// Package partition splits a topology graph into K balanced shards for
+// parallel-in-one-trial simulation.
+//
+// The partitioner walks the graph in breadth-first order from a
+// seed-derived start node (restarting at the lowest unvisited ID for
+// disconnected graphs) and cuts the visitation order into K contiguous
+// chunks. Chunk boundaries are chosen by degree-weighted load — a node's
+// event cost scales with its degree, so hubs count for more than leaves —
+// subject to a hard node-count cap of ⌈n/K⌉·1.1 per shard, which keeps
+// memory and queue sizing predictable. BFS contiguity keeps most edges
+// internal to a shard; the edge cut (cross-shard edges) is reported so
+// callers can judge partition quality. The result is deterministic in
+// (graph, K, seed).
+package partition
+
+import (
+	"fmt"
+
+	"routeconv/internal/topology"
+)
+
+// Result describes a K-way partition of a graph.
+type Result struct {
+	Assign   []int32 // Assign[u] = shard owning node u, in [0, K)
+	K        int     // number of shards (some may be empty when K > n)
+	Sizes    []int   // node count per shard
+	CutEdges int     // undirected edges whose endpoints are in different shards
+}
+
+// MaxShardNodes returns the node-count cap the partitioner enforces per
+// shard for an n-node graph split K ways: ⌈n/K⌉ plus 10% slack, never
+// below ⌈n/K⌉ itself.
+func MaxShardNodes(n, k int) int {
+	if k < 1 {
+		k = 1
+	}
+	ceil := (n + k - 1) / k
+	cap := ceil + ceil/10
+	if cap < ceil {
+		cap = ceil
+	}
+	return cap
+}
+
+// Partition splits the graph into k shards. k < 1 is treated as 1. The
+// same (graph, k, seed) always produces the same assignment.
+func Partition(c *topology.CSR, k int, seed int64) Result {
+	if k < 1 {
+		k = 1
+	}
+	n := c.Len()
+	r := Result{
+		Assign: make([]int32, n),
+		K:      k,
+		Sizes:  make([]int, k),
+	}
+	if n == 0 {
+		return r
+	}
+	if k == 1 {
+		r.Sizes[0] = n
+		return r
+	}
+
+	order := bfsOrder(c, seed)
+
+	capNodes := MaxShardNodes(n, k)
+	totalWeight := int64(n) // Σ (1 + deg(u))
+	for u := 0; u < n; u++ {
+		totalWeight += int64(c.Degree(topology.NodeID(u)))
+	}
+
+	cur := int32(0)
+	var load int64
+	target := targetLoad(totalWeight, k)
+	remainingWeight := totalWeight
+	for i, u := range order {
+		r.Assign[u] = cur
+		r.Sizes[cur]++
+		w := int64(1 + c.Degree(u))
+		load += w
+		remainingWeight -= w
+		remainingNodes := n - i - 1
+		if int(cur) == k-1 || remainingNodes == 0 {
+			continue
+		}
+		// Close the shard when it is full, or when its degree-weighted
+		// load reaches the adaptive target and the remaining nodes still
+		// fit under the caps of the remaining shards (so no later shard
+		// can be forced over the cap).
+		full := r.Sizes[cur] >= capNodes
+		loaded := load >= target && remainingNodes <= (k-1-int(cur))*capNodes
+		if full || loaded {
+			cur++
+			load = 0
+			target = targetLoad(remainingWeight, k-int(cur))
+		}
+	}
+
+	for u := 0; u < n; u++ {
+		au := r.Assign[u]
+		for _, v := range c.Neighbors(topology.NodeID(u)) {
+			if v > topology.NodeID(u) && r.Assign[v] != au {
+				r.CutEdges++
+			}
+		}
+	}
+	return r
+}
+
+// targetLoad is the degree-weighted load one of the remaining shards
+// should absorb before closing.
+func targetLoad(remaining int64, shards int) int64 {
+	if shards < 1 {
+		shards = 1
+	}
+	t := remaining / int64(shards)
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// bfsOrder returns all nodes in breadth-first visitation order starting
+// from a seed-derived node, restarting at the lowest unvisited ID for each
+// further connected component.
+func bfsOrder(c *topology.CSR, seed int64) []topology.NodeID {
+	n := c.Len()
+	order := make([]topology.NodeID, 0, n)
+	seen := make([]bool, n)
+	start := topology.NodeID(mix64(uint64(seed)) % uint64(n))
+
+	enqueue := func(u topology.NodeID) {
+		seen[u] = true
+		order = append(order, u)
+	}
+	enqueue(start)
+	for head := 0; head < len(order); head++ {
+		for _, v := range c.Neighbors(order[head]) {
+			if !seen[v] {
+				enqueue(v)
+			}
+		}
+		if head == len(order)-1 && len(order) < n {
+			// Component exhausted: restart at the lowest unvisited ID.
+			for u := 0; u < n; u++ {
+				if !seen[u] {
+					enqueue(topology.NodeID(u))
+					break
+				}
+			}
+		}
+	}
+	if len(order) != n {
+		panic(fmt.Sprintf("partition: visited %d of %d nodes", len(order), n))
+	}
+	return order
+}
+
+// mix64 is a splitmix64 finalizer used to derive the BFS start node.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

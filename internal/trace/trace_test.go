@@ -24,6 +24,7 @@ func buildLine(t *testing.T) (*sim.Simulator, *netsim.Network, *Collector) {
 
 func TestRouteChangesRecorded(t *testing.T) {
 	_, _, c := buildLine(t)
+	c.Flush()
 	if len(c.RouteChanges) != 2 {
 		t.Fatalf("recorded %d route changes, want 2", len(c.RouteChanges))
 	}
@@ -34,8 +35,11 @@ func TestRouteChangesRecorded(t *testing.T) {
 
 func TestPathSampledOnRelevantChange(t *testing.T) {
 	_, n, c := buildLine(t)
-	if len(c.PathHistory) != 2 {
-		t.Fatalf("path history = %d entries, want 2 (one per flow route change)", len(c.PathHistory))
+	c.Flush()
+	// Both route changes happen at the same instant, so exactly one sample
+	// is committed: the instant's final (complete) walk.
+	if len(c.PathHistory) != 1 {
+		t.Fatalf("path history = %d entries, want 1 (one per instant)", len(c.PathHistory))
 	}
 	last := c.PathHistory[len(c.PathHistory)-1]
 	if !last.OK || len(last.Path) != 3 {
@@ -43,13 +47,15 @@ func TestPathSampledOnRelevantChange(t *testing.T) {
 	}
 	// A route change for an unrelated destination must not add samples.
 	n.Node(1).SetRoute(0, 0)
-	if len(c.PathHistory) != 2 {
+	c.Flush()
+	if len(c.PathHistory) != 1 {
 		t.Error("unrelated route change added a path sample")
 	}
 }
 
 func TestSamplePathDedup(t *testing.T) {
 	_, _, c := buildLine(t)
+	c.Flush()
 	before := len(c.PathHistory)
 	c.SamplePath()
 	c.SamplePath()
@@ -62,6 +68,7 @@ func TestDeliveriesAndDrops(t *testing.T) {
 	s, n, c := buildLine(t)
 	n.Node(0).SendData(2, 1000, 64)
 	s.Run()
+	c.Flush()
 	if len(c.Deliveries) != 1 {
 		t.Fatalf("deliveries = %d, want 1", len(c.Deliveries))
 	}
@@ -73,6 +80,7 @@ func TestDeliveriesAndDrops(t *testing.T) {
 	n.Node(1).ClearRoute(2)
 	n.Node(0).SendData(2, 1000, 64)
 	s.Run()
+	c.Flush()
 	if got := c.DataDropsAfter(0, netsim.DropNoRoute); got != 1 {
 		t.Errorf("no-route drops = %d, want 1", got)
 	}
@@ -82,6 +90,7 @@ func TestDropsForOtherFlowIgnored(t *testing.T) {
 	s, n, c := buildLine(t)
 	n.Node(2).SendData(0, 1000, 64) // reverse direction: not the observed flow
 	s.Run()
+	c.Flush()
 	if got := c.DataDropsAfter(0, netsim.DropNoRoute); got != 0 {
 		t.Errorf("drop of another flow counted: %d", got)
 	}
@@ -115,6 +124,7 @@ func TestConvergenceMetrics(t *testing.T) {
 		n.Node(1).SetRoute(2, 2)
 	})
 	s.Run()
+	c.Flush()
 
 	if got := c.RoutingConvergence(failAt); got != 8*time.Second {
 		t.Errorf("RoutingConvergence = %v, want 8s", got)
@@ -163,6 +173,7 @@ func TestControlDropsExcluded(t *testing.T) {
 	n.FailLink(0, 1)
 	n.Node(0).SendControl(1, sizeMsg{})
 	s.Run()
+	c.Flush()
 	if got := c.DataDropsAfter(0, netsim.DropLinkFailure); got != 0 {
 		t.Errorf("control drop counted as data drop: %d", got)
 	}
