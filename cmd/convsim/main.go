@@ -7,7 +7,7 @@
 //	convsim [-protocol dbf] [-degree 4] [-rows 7] [-cols 7] [-trials 10]
 //	        [-topo ba:n=10000,m=2] [-senderstart 390s] [-failat 400s]
 //	        [-end 800s] [-seed 1] [-flows 1] [-rate 20] [-shards 8]
-//	        [-timeline out.ndjson]
+//	        [-timeline out.ndjson] [-cpuprofile FILE] [-memprofile FILE]
 //
 // With -timeline, trial 0 is replayed with the convergence timeline
 // attached and the records are written as NDJSON (schema: OBSERVABILITY.md).
@@ -17,6 +17,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"routeconv"
@@ -44,9 +46,37 @@ func run(args []string) error {
 		ecmp        = fs.Bool("ecmp", false, "install equal-cost multipath sets (dbf and ls)")
 		detail      = fs.Bool("detail", false, "print per-trial detail")
 		timeline    = fs.String("timeline", "", "write trial 0's convergence timeline to this NDJSON file")
+		cpuProfile  = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProfile  = fs.String("memprofile", "", "write a heap profile to this file after the run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "convsim: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows retained memory
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "convsim: memprofile:", err)
+			}
+		}()
 	}
 	cfg, err := ef.Config()
 	if err != nil {

@@ -78,6 +78,14 @@ const (
 	// messages.
 	ProtoFloodsSent
 	ProtoFloodsReceived
+	// ProtoSPFIncremental counts LS recomputes served by the incremental
+	// SPF patch (including exact no-ops) instead of a full epoch SPF.
+	ProtoSPFIncremental
+	// ProtoAdvSkipped counts received distance-vector entries skipped by
+	// the change-versioned fast path: the sender marked them unchanged
+	// since the last exchange and the receiver's own state for them is
+	// unchanged too, so reprocessing them would be a no-op.
+	ProtoAdvSkipped
 	// FluidSettles counts fluid-engine settlements that accounted at
 	// least one packet tick analytically (netsim.FlowSet).
 	FluidSettles
@@ -123,6 +131,8 @@ var counterNames = [numCounters]string{
 	ProtoDecisionRuns:    "proto.decision_runs",
 	ProtoFloodsSent:      "proto.floods.sent",
 	ProtoFloodsReceived:  "proto.floods.received",
+	ProtoSPFIncremental:  "proto.spf_incremental",
+	ProtoAdvSkipped:      "proto.adv_skipped",
 	FluidSettles:         "fluid.settles",
 	FluidDemotions:       "fluid.demotions",
 	FluidReabsorptions:   "fluid.reabsorptions",

@@ -40,6 +40,41 @@ func TestIdleFlushAllocs(t *testing.T) {
 	}
 }
 
+// A flush with announcements held back by a pending MRAI timer must not
+// allocate either: classification walks the per-neighbor pending list in
+// the reusable scratch buffers, and the list rebuild reuses its capacity.
+func TestHeldFlushAllocs(t *testing.T) {
+	s := sim.New(1)
+	g := topology.NewGraph(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	net := netsim.FromGraph(s, g, netsim.DefaultConfig(), nil)
+	net.Node(0).AttachProtocol(New(net.Node(0), DefaultConfig())) // 30 s MRAI
+	net.Node(1).AttachProtocol(discard{})
+	net.Node(2).AttachProtocol(discard{})
+	net.Start()
+	s.RunUntil(time.Second) // initial advertisements consumed the MRAI budget
+	p := protoAt(net, 0)
+	for i := 0; i < 40; i += 2 {
+		net.Node(2).SendControl(0, &Update{Dst: netsim.NodeID(100 + i), Path: []netsim.NodeID{2, netsim.NodeID(100 + i)}})
+	}
+	s.RunUntil(s.Now() + 100*time.Millisecond) // deliveries leave announcements pending behind the MRAI timer
+	if p.pendingCount[1] == 0 || !p.mrai[1].Pending() {
+		t.Fatal("test setup: expected announcements held by a pending MRAI timer")
+	}
+	for i := 0; i < 8; i++ {
+		p.flushAll() // warm the scratch buffers
+	}
+	avg := testing.AllocsPerRun(100, func() { p.flushAll() })
+	if avg != 0 {
+		t.Errorf("held flushAll allocates %.1f objects, want 0", avg)
+	}
+}
+
+func protoAt(net *netsim.Network, id netsim.NodeID) *Protocol {
+	return net.Node(id).Protocol().(*Protocol)
+}
+
 // Steady-state update processing runs through pooled messages, interned
 // paths, and dense RIB rows, so one full announce+withdraw cycle (receive,
 // recompute, flush to both neighbors) stays within a small pinned packet

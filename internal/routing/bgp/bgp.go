@@ -165,17 +165,25 @@ type Protocol struct {
 	ribOut [][]pathID
 	// pending flags, per neighbor, destinations whose state changed since
 	// the last flush; pendingCount tracks how many flags are set per
-	// neighbor so an idle flush is O(1).
+	// neighbor so an idle flush is O(1). pendList mirrors the flagged set
+	// as an explicit list so a flush touches only pending destinations:
+	// outside flush flags are only ever set (setPending appends on each
+	// false→true flip, so the list holds no duplicates), and every flush
+	// ends by rebuilding the list from what stayed flagged, restoring
+	// sorted order.
 	pending      [][]bool
 	pendingCount []int
+	pendList     [][]routing.NodeID
 	// deadline holds, in per-destination MRAI mode, the earliest time each
 	// (neighbor, destination) may next be advertised.
 	deadline [][]time.Duration
 	mrai     []*sim.Timer
 	up       []bool
-	// dirty flags destinations changed while processing one event.
-	dirty      []bool
-	dirtyCount int
+	// dirty flags destinations changed while processing one event;
+	// dirtyList holds the same set explicitly so propagating them to the
+	// neighbors' pending sets walks only what changed.
+	dirty     []bool
+	dirtyList []routing.NodeID
 	// wdScratch/annScratch are flush's reusable classification buffers.
 	wdScratch, annScratch []routing.NodeID
 	// pool recycles outgoing Update messages.
@@ -325,6 +333,7 @@ func (p *Protocol) Start() {
 	p.ribOut = make([][]pathID, n)
 	p.pending = make([][]bool, n)
 	p.pendingCount = make([]int, n)
+	p.pendList = make([][]routing.NodeID, n)
 	p.deadline = make([][]time.Duration, n)
 	p.mrai = make([]*sim.Timer, n)
 	p.up = make([]bool, n)
@@ -344,6 +353,7 @@ func (p *Protocol) sessionUp(n routing.NodeID) {
 	p.ribOut[n] = newPathRow(size)
 	p.pending[n] = make([]bool, size)
 	p.pendingCount[n] = 0
+	p.pendList[n] = p.pendList[n][:0]
 	if p.cfg.PerDestMRAI {
 		p.deadline[n] = make([]time.Duration, size)
 	}
@@ -358,6 +368,7 @@ func (p *Protocol) setPending(n, dst routing.NodeID) {
 	if !p.pending[n][dst] {
 		p.pending[n][dst] = true
 		p.pendingCount[n]++
+		p.pendList[n] = append(p.pendList[n], dst)
 	}
 }
 
@@ -420,6 +431,7 @@ func (p *Protocol) LinkDown(neighbor routing.NodeID) {
 	p.ribOut[neighbor] = nil
 	p.pending[neighbor] = nil
 	p.pendingCount[neighbor] = 0
+	p.pendList[neighbor] = nil
 	p.deadline[neighbor] = nil
 	if t := p.mrai[neighbor]; t != nil {
 		t.Stop()
@@ -487,26 +499,26 @@ func (p *Protocol) recompute(dst routing.NodeID) {
 	}
 	if !p.dirty[dst] {
 		p.dirty[dst] = true
-		p.dirtyCount++
+		p.dirtyList = append(p.dirtyList, dst)
 	}
 }
 
 // flushAll propagates all destinations dirtied by the current event to
-// every up neighbor, then attempts a flush per neighbor.
+// every up neighbor, then attempts a flush per neighbor. Only the dirty
+// set is walked; its order is irrelevant because setPending just raises
+// flags — everything order-sensitive (the wire) happens in flush, which
+// visits pending destinations in ascending order.
 func (p *Protocol) flushAll() {
-	if p.dirtyCount > 0 {
-		for dst := range p.dirty {
-			if !p.dirty[dst] {
-				continue
-			}
+	if len(p.dirtyList) > 0 {
+		for _, dst := range p.dirtyList {
 			p.dirty[dst] = false
 			for _, n := range p.node.Neighbors() {
 				if p.upTo(n) {
-					p.setPending(n, routing.NodeID(dst))
+					p.setPending(n, dst)
 				}
 			}
 		}
-		p.dirtyCount = 0
+		p.dirtyList = p.dirtyList[:0]
 	}
 	for _, n := range p.node.Neighbors() {
 		if p.upTo(n) {
@@ -531,27 +543,35 @@ func (p *Protocol) flush(n routing.NodeID) {
 	// withdrawal mode withdrawals queue behind MRAI like announcements, so
 	// they classify straight into the announcement list (which keeps it
 	// sorted — the same order the old append+sort produced).
+	//
+	// The walk uses the explicit pending list when it is small: the list is
+	// a sorted run from the last flush plus the flips appended since, so the
+	// insertion sort is nearly linear, and the visit order — ascending over
+	// exactly the flagged destinations — is identical to the dense scan's.
+	// A list within a factor of the table keeps the dense scan, bounding
+	// the sort at the dense walk's own cost.
 	withdrawals := p.wdScratch[:0]
 	announcements := p.annScratch[:0]
-	for dst := range pend {
-		if !pend[dst] {
-			continue
-		}
-		d := routing.NodeID(dst)
-		best := p.best[dst]
-		switch {
-		case best == noPath && out[dst] == noPath:
-			p.clearPending(n, d) // nothing ever advertised; nothing to say
-		case best == noPath:
-			if p.cfg.DampWithdrawals {
-				announcements = append(announcements, d)
-			} else {
-				withdrawals = append(withdrawals, d)
+	if pl := p.pendList[n]; len(pl)*4 <= p.ids() {
+		for i := 1; i < len(pl); i++ {
+			d := pl[i]
+			j := i - 1
+			for j >= 0 && pl[j] > d {
+				pl[j+1] = pl[j]
+				j--
 			}
-		case out[dst] == best:
-			p.clearPending(n, d) // already current
-		default:
-			announcements = append(announcements, d)
+			pl[j+1] = d
+		}
+		for _, d := range pl {
+			if pend[d] {
+				withdrawals, announcements = p.classifyDst(n, d, out, withdrawals, announcements)
+			}
+		}
+	} else {
+		for dst := range pend {
+			if pend[dst] {
+				withdrawals, announcements = p.classifyDst(n, routing.NodeID(dst), out, withdrawals, announcements)
+			}
 		}
 	}
 	p.wdScratch, p.annScratch = withdrawals, announcements
@@ -574,15 +594,45 @@ func (p *Protocol) flush(n routing.NodeID) {
 
 	if p.cfg.PerDestMRAI {
 		p.flushPerDest(n, announcements, now)
-		return
+	} else if !p.mrai[n].Pending() && len(announcements) > 0 {
+		for _, dst := range announcements {
+			p.advertise(n, dst)
+		}
+		p.mrai[n].Reset(p.mraiInterval())
 	}
-	if p.mrai[n].Pending() || len(announcements) == 0 {
-		return
+
+	// Rebuild the pending list. After classification, everything still
+	// flagged is an announcement MRAI held back, so filtering the (sorted)
+	// announcement list restores the invariant: pendList = flagged set,
+	// ascending, duplicate-free.
+	pl := p.pendList[n][:0]
+	for _, d := range announcements {
+		if pend[d] {
+			pl = append(pl, d)
+		}
 	}
-	for _, dst := range announcements {
-		p.advertise(n, dst)
+	p.pendList[n] = pl
+}
+
+// classifyDst routes one pending destination into the withdrawal or
+// announcement list, or clears its flag when there is nothing to say.
+func (p *Protocol) classifyDst(n, d routing.NodeID, out []pathID, withdrawals, announcements []routing.NodeID) ([]routing.NodeID, []routing.NodeID) {
+	best := p.best[d]
+	switch {
+	case best == noPath && out[d] == noPath:
+		p.clearPending(n, d) // nothing ever advertised; nothing to say
+	case best == noPath:
+		if p.cfg.DampWithdrawals {
+			announcements = append(announcements, d)
+		} else {
+			withdrawals = append(withdrawals, d)
+		}
+	case out[d] == best:
+		p.clearPending(n, d) // already current
+	default:
+		announcements = append(announcements, d)
 	}
-	p.mrai[n].Reset(p.mraiInterval())
+	return withdrawals, announcements
 }
 
 // flushPerDest sends each announcement whose (neighbor, destination)

@@ -1,0 +1,52 @@
+package dbf
+
+import (
+	"testing"
+	"time"
+
+	"routeconv/internal/netsim"
+	"routeconv/internal/obs"
+	"routeconv/internal/routing"
+	"routeconv/internal/sim"
+	"routeconv/internal/topology"
+)
+
+// A skipped re-advertisement must not allocate: the liveness refresh
+// rewrites an existing map key, and the watermark comparison plus the
+// skip counter touch only persistent state.
+func TestSkippedAdvertisementAllocs(t *testing.T) {
+	s := sim.New(1)
+	net := netsim.FromGraph(s, topology.Line(2), netsim.DefaultConfig(), nil)
+	net.Instrument(obs.NewMetrics(), nil)
+	cfg := routing.DefaultVectorConfig()
+	p0 := New(net.Node(0), cfg)
+	p1 := New(net.Node(1), cfg)
+	net.Node(0).AttachProtocol(p0)
+	net.Node(1).AttachProtocol(p1)
+	net.Start()
+	s.RunUntil(120 * time.Second)
+
+	sv, ok := p0.seen[1]
+	if !ok || sv != p1.ver {
+		t.Fatalf("skip watermark not armed (ok=%v seen=%d sender ver=%d)", ok, sv, p1.ver)
+	}
+
+	// Re-send node 1's full table exactly as broadcastFull stages it.
+	p1.stage(false)
+	defer p1.snd.End()
+	views := p1.snd.Views(nil, &p1.cfg, 0)
+	if len(views) != 1 {
+		t.Fatalf("staged full packed into %d chunks, want 1", len(views))
+	}
+	u := views[0]
+	met := net.Node(0).Metrics()
+	before := met.Get(obs.ProtoAdvSkipped)
+	p0.HandleMessage(1, u)
+	if met.Get(obs.ProtoAdvSkipped) <= before {
+		t.Fatal("re-sent full was not skipped")
+	}
+	avg := testing.AllocsPerRun(100, func() { p0.HandleMessage(1, u) })
+	if avg != 0 {
+		t.Errorf("skipped advertisement allocates %.1f objects, want 0", avg)
+	}
+}

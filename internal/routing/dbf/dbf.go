@@ -50,17 +50,23 @@ type Protocol struct {
 	up    map[routing.NodeID]bool
 	adv   *routing.Advertiser
 	hk    *sim.Timer
-	// pend stages the routes of one update burst, collected once so the
-	// per-neighbor pass walks a compact list instead of re-scanning the
-	// table per neighbor.
-	pend []pending
-}
-
-// pending is one route staged for advertisement.
-type pending struct {
-	dst     routing.NodeID
-	nextHop routing.NodeID
-	metric  int32
+	// ver is the monotone change-version clock: it advances whenever the
+	// advertised table state changes — metric, next hop (the poison
+	// pattern of full updates depends on it), or entry liveness.
+	ver uint64
+	// seen holds, per neighbor, the version stamp of the last FULL
+	// advertisement incorporated into the cache; map presence means the
+	// cache mirrored the neighbor's table exactly at that stamp (torn
+	// down whenever clearCache forgets the neighbor). Only fulls advance
+	// it: triggered updates omit next-hop-only tie switches, which change
+	// the poison pattern the stamp vouches for. A re-advertisement at or
+	// below the stamp can only repeat cache-equal entries, so the
+	// receiver skips the whole chunk.
+	seen map[routing.NodeID]uint64
+	// snd stages advertisement bursts once per broadcast into a shared
+	// pooled snapshot; per-neighbor messages are index views with
+	// read-time poisoned reverse (see routing.BurstSender).
+	snd routing.BurstSender
 }
 
 var _ netsim.Protocol = (*Protocol)(nil)
@@ -72,6 +78,7 @@ func New(node *netsim.Node, cfg routing.VectorConfig) *Protocol {
 		cfg:       cfg,
 		lastHeard: make(map[routing.NodeID]time.Duration),
 		up:        make(map[routing.NodeID]bool),
+		seen:      make(map[routing.NodeID]uint64),
 	}
 	p.adv = routing.NewAdvertiser(node, &p.cfg, p.broadcastFull, p.broadcastChanged)
 	p.hk = sim.NewTimer(node.Sim(), p.housekeep)
@@ -184,6 +191,7 @@ func (p *Protocol) cacheSet(n, dst routing.NodeID, m int) {
 // clearCache forgets everything heard from neighbor n, keeping the
 // allocation for reuse.
 func (p *Protocol) clearCache(n routing.NodeID) {
+	delete(p.seen, n)
 	if int(n) < len(p.cache) {
 		c := p.cache[n]
 		for i := range c {
@@ -223,10 +231,31 @@ func (p *Protocol) HandleMessage(from routing.NodeID, msg netsim.Message) {
 	if !ok {
 		return
 	}
-	p.node.Metrics().Inc(obs.ProtoUpdatesReceived)
+	met := p.node.Metrics()
+	met.Inc(obs.ProtoUpdatesReceived)
 	p.lastHeard[from] = p.node.Sim().Now()
+	n := u.Len()
+	b := u.Burst()
+	if b != nil {
+		// Whole-chunk skip: the neighbor re-advertises a snapshot version
+		// whose content the cache already mirrors, so every entry would
+		// hit the cache-equality continue below. The liveness refresh
+		// above is the only remaining effect and has already happened.
+		if sv, ok := p.seen[from]; ok && b.Ver <= sv {
+			met.Add(obs.ProtoAdvSkipped, uint64(n))
+			return
+		}
+	}
 	changedAny := false
-	for _, e := range u.Entries {
+	// View iteration keeps the hot loop free of per-entry call overhead;
+	// the read-time poisoned reverse EntryAt applies is inlined here (nhs
+	// is nil for explicit updates, which carry literal entries).
+	ents, nhs, origin, binf := u.View()
+	self := p.node.ID()
+	for i, e := range ents {
+		if nhs != nil && nhs[i] == self && e.Dst != origin {
+			e.Metric = binf
+		}
 		m := int(e.Metric)
 		if m > p.cfg.Infinity {
 			m = p.cfg.Infinity
@@ -238,6 +267,9 @@ func (p *Protocol) HandleMessage(from routing.NodeID, msg netsim.Message) {
 		if p.recompute(e.Dst) {
 			changedAny = true
 		}
+	}
+	if b != nil && b.Full && u.LastChunk() {
+		p.seen[from] = b.Ver
 	}
 	if changedAny {
 		p.adv.RouteChanged()
@@ -282,17 +314,25 @@ func (p *Protocol) recompute(dst routing.NodeID) bool {
 		}
 		cur.metric = p.cfg.Infinity
 		cur.changed = true
+		p.ver++
 		p.node.ClearRoute(dst)
 		return true
 
 	case cur == nil:
 		b := p.insert(dst)
 		b.metric, b.nextHop, b.changed = bestMetric, bestNext, true
+		p.ver++
 		p.node.SetRoute(dst, bestNext)
 		return true
 
 	default:
 		metricChanged := cur.metric != bestMetric
+		if metricChanged || cur.nextHop != bestNext {
+			// Next-hop-only tie switches change no advertised metric, but
+			// they flip the poisoned-reverse pattern of the next full
+			// update, so the version clock must advance for them too.
+			p.ver++
+		}
 		if cur.nextHop != bestNext || cur.metric >= p.cfg.Infinity {
 			p.node.SetRoute(dst, bestNext)
 		}
@@ -337,8 +377,9 @@ func (p *Protocol) LinkDown(neighbor routing.NodeID) {
 func (p *Protocol) LinkUp(neighbor routing.NodeID) {
 	p.up[neighbor] = true
 	p.clearCache(neighbor)
-	p.collect(false)
-	p.sendPending(neighbor)
+	p.stage(false)
+	p.sendStaged(neighbor)
+	p.snd.End()
 }
 
 // recomputeAll re-minimizes every known destination.
@@ -372,62 +413,68 @@ func (p *Protocol) housekeep() {
 }
 
 func (p *Protocol) broadcastFull() {
-	p.collect(false)
+	p.stage(false)
 	for _, n := range p.node.Neighbors() {
 		if p.up[n] {
-			p.sendPending(n)
+			p.sendStaged(n)
 		}
 	}
+	p.snd.End()
 	p.clearChanged()
 }
 
 func (p *Protocol) broadcastChanged() {
-	p.collect(true)
+	p.stage(true)
 	for _, n := range p.node.Neighbors() {
 		if p.up[n] {
-			p.sendPending(n)
+			p.sendStaged(n)
 		}
 	}
+	p.snd.End()
 	p.clearChanged()
 }
 
-// collect stages the live (optionally changed-only) routes for
-// advertisement, in ascending destination order, so the per-neighbor send
-// walks a compact list rather than re-scanning the table.
-func (p *Protocol) collect(changedOnly bool) {
-	p.pend = p.pend[:0]
+// stage snapshots the live (optionally changed-only) routes for
+// advertisement, in ascending destination order, into the shared pooled
+// burst that all per-neighbor messages of this broadcast view.
+func (p *Protocol) stage(changedOnly bool) {
+	b := p.snd.Begin(p.node.ID(), int32(p.cfg.Infinity), p.ver, !changedOnly)
 	for dst := routing.NodeID(0); int(dst) < len(p.known); dst++ {
 		if !p.known[dst] {
 			continue
 		}
-		b := p.entry(dst)
-		if b == nil || (changedOnly && !b.changed) {
+		e := p.entry(dst)
+		if e == nil || (changedOnly && !e.changed) {
 			continue
 		}
-		p.pend = append(p.pend, pending{dst: dst, nextHop: b.nextHop, metric: int32(b.metric)})
+		b.Entries = append(b.Entries, routing.VectorEntry{Dst: dst, Metric: int32(e.metric)})
+		b.NextHop = append(b.NextHop, e.nextHop)
 	}
 }
 
-// sendPending composes and transmits the staged routes to one neighbor with
-// split horizon (poisoned reverse when configured). The entry slice is
-// allocated at exact size and handed off to the packed messages, which
-// alias it until delivery.
-func (p *Protocol) sendPending(to routing.NodeID) {
-	if len(p.pend) == 0 {
+// sendStaged transmits the staged burst to one neighbor. With poisoned
+// reverse the per-neighbor wire images differ only in poisoned metric
+// values, so the messages are zero-copy views of the shared snapshot;
+// plain split horizon (§4.2 ablation) omits entries instead, changing
+// per-neighbor lengths, so that path materializes an explicit list
+// exactly as before.
+func (p *Protocol) sendStaged(to routing.NodeID) {
+	b := p.snd.Staged()
+	if len(b.Entries) == 0 {
 		return
 	}
-	entries := make([]routing.VectorEntry, 0, len(p.pend))
+	if p.cfg.PoisonReverse {
+		sent := p.snd.SendTo(p.node, &p.cfg, to)
+		p.node.Metrics().Add(obs.ProtoUpdatesSent, uint64(sent))
+		return
+	}
+	entries := make([]routing.VectorEntry, 0, len(b.Entries))
 	self := p.node.ID()
-	for i := range p.pend {
-		e := &p.pend[i]
-		metric := e.metric
-		if e.nextHop == to && e.dst != self {
-			if !p.cfg.PoisonReverse {
-				continue
-			}
-			metric = int32(p.cfg.Infinity)
+	for i, e := range b.Entries {
+		if b.NextHop[i] == to && e.Dst != self {
+			continue // plain split horizon: stay silent
 		}
-		entries = append(entries, routing.VectorEntry{Dst: e.dst, Metric: metric})
+		entries = append(entries, e)
 	}
 	for _, msg := range p.cfg.PackEntries(entries) {
 		p.node.Metrics().Inc(obs.ProtoUpdatesSent)

@@ -33,3 +33,45 @@ func TestRecomputeAllocs(t *testing.T) {
 		t.Errorf("steady-state recompute allocates %.1f objects, want 0", avg)
 	}
 }
+
+// An incremental SPF patch must not allocate either: the worklists, mark
+// arrays, and candidate distances live in the persistent incrScratch, and
+// first-hop rows are rebuilt in place. The toggled edge detaches and
+// reattaches the end of a line, exercising both the orphan cascade (with
+// re-relaxation to unreachable) and the decrease cascade.
+func TestIncrementalPatchAllocs(t *testing.T) {
+	s := sim.New(1)
+	net := netsim.FromGraph(s, topology.Line(6), netsim.DefaultConfig(), nil)
+	var protos []*Protocol
+	for i := 0; i < 6; i++ {
+		p := New(net.Node(netsim.NodeID(i)), DefaultConfig())
+		net.Node(netsim.NodeID(i)).AttachProtocol(p)
+		protos = append(protos, p)
+	}
+	net.Start()
+	s.RunUntil(time.Second) // full database everywhere
+	p := protos[0]
+	nbFull := []netsim.NodeID{3, 5}
+	nbCut := []netsim.NodeID{3}
+	// toggle rewrites node 4's LSA the way HandleMessage stores a flood,
+	// alternately cutting and restoring the edge to node 5, and requires
+	// the patch to handle it without falling back.
+	toggle := func() {
+		old := p.db[4]
+		nb := nbFull
+		if len(old.Neighbors) == 2 {
+			nb = nbCut
+		}
+		p.db[4] = LSA{Origin: 4, Seq: old.Seq + 1, Neighbors: nb}
+		if !p.tryIncremental(4, old, true) {
+			t.Fatal("incremental patch unexpectedly fell back to full SPF")
+		}
+	}
+	for i := 0; i < 8; i++ {
+		toggle() // size the scratch
+	}
+	avg := testing.AllocsPerRun(100, toggle)
+	if avg != 0 {
+		t.Errorf("incremental SPF patch allocates %.1f objects, want 0", avg)
+	}
+}

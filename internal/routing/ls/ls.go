@@ -94,6 +94,9 @@ func (f *Flood) Release() {
 	f.pool.free = append(f.pool.free, f)
 }
 
+// distInf marks an unreachable node in the persistent distance array.
+const distInf = int32(1<<31 - 1)
+
 // spfScratch is the persistent workspace for recompute. Distance and
 // first-hop-dedup arrays are epoch-versioned: bumping the epoch invalidates
 // every entry at once, so nothing is cleared between runs.
@@ -117,6 +120,11 @@ type spfScratch struct {
 	firstHops [][]routing.NodeID
 	hopSeen   []uint32
 	hopEpoch  uint32
+	// pdist is the persistent distance array maintained across runs
+	// (distInf = unreachable). Together with firstHops it is the
+	// shortest-path tree the incremental patch (incremental.go) edits in
+	// place; a full recompute rewrites it from the epoch-versioned dist.
+	pdist []int32
 }
 
 // next invalidates all epoch-versioned entries, clearing on wraparound.
@@ -160,6 +168,12 @@ func (s *spfScratch) size(n int) {
 	grownHops := make([][]routing.NodeID, n)
 	copy(grownHops, s.firstHops)
 	s.firstHops = grownHops
+	grownPDist := make([]int32, n)
+	copy(grownPDist, s.pdist)
+	for i := len(s.pdist); i < n; i++ {
+		grownPDist[i] = distInf
+	}
+	s.pdist = grownPDist
 }
 
 // Protocol is a link-state speaker bound to one node.
@@ -175,6 +189,11 @@ type Protocol struct {
 	seq  uint64
 	pool floodPool
 	spf  spfScratch
+	// haveSPT reports that spf.pdist/spf.firstHops hold the exact result
+	// of the last recompute, making them a valid base for incremental
+	// patching. Cleared until the first full SPF completes.
+	haveSPT bool
+	incr    incrScratch
 }
 
 var _ netsim.Protocol = (*Protocol)(nil)
@@ -246,10 +265,11 @@ func (p *Protocol) originate() {
 	}
 	self := p.node.ID()
 	lsa := LSA{Origin: self, Seq: p.seq, Neighbors: neighbors}
+	old, hadOld := p.db[self], p.have[self]
 	p.db[self] = lsa
 	p.have[self] = true
 	p.flood(lsa, -1)
-	p.recompute()
+	p.applyDelta(self, old, hadOld)
 }
 
 // flood forwards an LSA to every up neighbor except the one it came from.
@@ -277,9 +297,23 @@ func (p *Protocol) HandleMessage(from routing.NodeID, msg netsim.Message) {
 	if p.have[origin] && p.db[origin].Seq >= f.LSA.Seq {
 		return // stale or duplicate: stop the flood
 	}
+	old, hadOld := p.db[origin], p.have[origin]
 	p.db[origin] = f.LSA
 	p.have[origin] = true
 	p.flood(f.LSA, from)
+	p.applyDelta(origin, old, hadOld)
+}
+
+// applyDelta recomputes routes after the LSA for origin changed from old
+// (hadOld reports whether one existed) to the stored one: incrementally
+// when the change reduces to at most one effective edge and the affected
+// region is small, otherwise via a full SPF. Both paths produce identical
+// tables and identical observable effects; TestIncrementalMatchesFullSPF
+// asserts the equivalence on randomized histories.
+func (p *Protocol) applyDelta(origin routing.NodeID, old LSA, hadOld bool) {
+	if p.tryIncremental(origin, old, hadOld) {
+		return
+	}
 	p.recompute()
 }
 
@@ -435,6 +469,17 @@ func (p *Protocol) recompute() {
 			p.node.SetMultipath(routing.NodeID(o), nil)
 		}
 	}
+
+	// Persist the tree for incremental patching: distances for every node
+	// (distInf when unreachable) plus the first-hop rows written above.
+	for v := 0; v < n; v++ {
+		if s.distEpoch[v] == s.epoch {
+			s.pdist[v] = s.dist[v]
+		} else {
+			s.pdist[v] = distInf
+		}
+	}
+	p.haveSPT = true
 }
 
 func containsID(list []routing.NodeID, id routing.NodeID) bool {

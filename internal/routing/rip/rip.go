@@ -27,15 +27,43 @@ const housekeepInterval = time.Second
 // noDeadline marks a table with no pending expire/gc deadline at all.
 const noDeadline = time.Duration(math.MaxInt64)
 
-// route is one RIP table entry. The metric is 32 bits (infinity is 16) to
-// keep the dense table compact on internet-scale graphs.
+// route is one RIP table entry, packed to 16 bytes so a dense 10k-node
+// table fits in 160 kB and the receive loop's sequential row scans stay
+// bandwidth-friendly. The metric is 16 bits (hop counts clamp at the
+// configured infinity, 16 by default; New rejects an infinity that would
+// not fit), and the timeout and garbage-collection deadlines share one
+// field: a reachable route only ever awaits expiry, an unreachable one
+// only deletion, so the two are never live at once.
 type route struct {
-	metric  int32
-	nextHop routing.NodeID
-	expire  time.Duration // deadline after which the route times out
-	gcAt    time.Duration // when an unreachable route is deleted
-	changed bool          // included in the next triggered update
-	valid   bool          // slot holds a live entry
+	deadline time.Duration // expiry while reachable, deletion while not
+	nextHop  routing.NodeID
+	metric   int16
+	changed  bool // included in the next triggered update
+	valid    bool // slot holds a live entry
+}
+
+// viaCap bounds the cached per-neighbor list of destinations routed via
+// that neighbor. The whole-chunk skip must keep refreshing exactly those
+// routes' timeouts; past the cap the skip is disabled for the neighbor.
+const viaCap = 4
+
+const (
+	viaUnknown = int8(-2) // list not yet resolved (deferred to first use)
+	viaMany    = int8(-1) // more than viaCap routes via the neighbor
+)
+
+// nbrSeen records, per neighbor, the advertisement version whose full
+// snapshot we last processed to quiescence, our own change clock at that
+// moment, and the destinations then routed via the neighbor. Together they
+// justify the receive-side fast path: if the neighbor re-advertises at the
+// same version and our table has not changed since, re-processing every
+// entry would repeat decisions that were no-ops — except the timeout
+// refresh of the listed via-routes, which the skip applies directly.
+type nbrSeen struct {
+	ver  uint64 // sender's version clock of the last incorporated full
+	tv   uint64 // our change clock when that incorporation finished
+	nvia int8
+	via  [viaCap]routing.NodeID // routed via the neighbor (excluding itself)
 }
 
 // Protocol is a RIP speaker bound to one node.
@@ -53,6 +81,16 @@ type Protocol struct {
 	// of a converging large network, where each burst touches a handful of
 	// the N table entries.
 	changedBits []uint64
+	// nlive counts valid table slots, giving full-table stagings their
+	// exact burst size without a counting pass.
+	nlive int
+	// ver is the monotone change-version clock: it advances on every
+	// decision-relevant table change (route inserted, metric or next hop
+	// updated, entry deleted). Advertisement bursts are stamped with it,
+	// and received stamps drive the whole-chunk skip below.
+	ver uint64
+	// seen holds the per-neighbor incorporation watermarks for the skip.
+	seen map[routing.NodeID]nbrSeen
 	// nextDeadline is a lower bound on the earliest expire/gc deadline in
 	// the table (0 = unknown, scan to find out), letting housekeep skip its
 	// full scan on the overwhelmingly common tick where nothing can expire.
@@ -60,18 +98,11 @@ type Protocol struct {
 	up           map[routing.NodeID]bool
 	adv          *routing.Advertiser
 	hk           *sim.Timer
-	// pend stages the routes of one update burst, collected once so the
-	// per-neighbor pass walks a compact list instead of re-scanning the
-	// table — on a power-law hub with a thousand neighbors the rescans are
-	// the whole burst cost.
-	pend []pending
-}
-
-// pending is one route staged for advertisement.
-type pending struct {
-	dst     routing.NodeID
-	nextHop routing.NodeID
-	metric  int32
+	// snd stages advertisement bursts once per broadcast into a shared
+	// pooled snapshot; per-neighbor messages are index views with
+	// read-time poisoned reverse, so a steady-state broadcast allocates
+	// nothing and copies nothing per neighbor.
+	snd routing.BurstSender
 }
 
 var _ netsim.Protocol = (*Protocol)(nil)
@@ -79,11 +110,15 @@ var _ netsim.Protocol = (*Protocol)(nil)
 // New returns a RIP instance for the node. It must be attached with
 // node.AttachProtocol before the network starts.
 func New(node *netsim.Node, cfg routing.VectorConfig) *Protocol {
+	if cfg.Infinity > math.MaxInt16 {
+		panic("rip: Infinity exceeds the 16-bit table metric")
+	}
 	p := &Protocol{
 		node: node,
 		cfg:  cfg,
 		inf:  int32(cfg.Infinity),
 		up:   make(map[routing.NodeID]bool),
+		seen: make(map[routing.NodeID]nbrSeen),
 	}
 	p.adv = routing.NewAdvertiser(node, &p.cfg, p.broadcastFull, p.broadcastChanged)
 	p.hk = sim.NewTimer(node.Sim(), p.housekeep)
@@ -129,13 +164,16 @@ func (p *Protocol) insert(dst routing.NodeID) *route {
 		p.table = grown
 	}
 	p.table[dst] = route{valid: true}
+	p.nlive++
 	return &p.table[dst]
 }
 
 // setChanged flags the entry for the next triggered update, in both the
 // entry and the bitmap (the invariant the bitmap iteration relies on:
-// changed entries always have their bit set).
+// changed entries always have their bit set), and advances the version
+// clock — every call site is a decision-relevant table change.
 func (p *Protocol) setChanged(dst routing.NodeID, rt *route) {
+	p.ver++
 	rt.changed = true
 	w := int(dst) >> 6
 	if w >= len(p.changedBits) {
@@ -192,10 +230,45 @@ func (p *Protocol) HandleMessage(from routing.NodeID, msg netsim.Message) {
 	}
 	met := p.node.Metrics()
 	met.Inc(obs.ProtoUpdatesReceived)
+	n := u.Len()
+	met.Add(obs.ProtoDecisionRuns, uint64(n))
 	now := p.node.Sim().Now()
+	b := u.Burst()
+	if b != nil {
+		// Whole-chunk skip: the sender re-advertises a snapshot version we
+		// already processed to quiescence, and our own table has not
+		// changed since — every entry decision would repeat its earlier
+		// no-op. The only live effect, the timeout refresh of routes via
+		// the sender, is applied directly from the cached via-list.
+		if ns, ok := p.seen[from]; ok && b.Ver <= ns.ver && p.ver == ns.tv {
+			if ns.nvia == viaUnknown {
+				// The table is bit-identical to when the watermark was
+				// recorded (our clock has not moved), so resolving the
+				// via-list lazily here is exact — and start-of-run fulls
+				// that are never re-sent never pay the table scan.
+				ns = p.resolveVia(from, ns)
+				p.seen[from] = ns
+			}
+			if ns.nvia >= 0 {
+				for i := int8(0); i < ns.nvia; i++ {
+					p.refreshVia(u, from, ns.via[i], now)
+				}
+				p.refreshVia(u, from, from, now)
+				met.Add(obs.ProtoAdvSkipped, uint64(n))
+				return
+			}
+		}
+	}
 	changedAny := false
-	for _, e := range u.Entries {
-		met.Inc(obs.ProtoDecisionRuns)
+	// View iteration keeps the hot loop free of per-entry call overhead;
+	// the read-time poisoned reverse EntryAt applies is inlined here (nhs
+	// is nil for explicit updates, which carry literal entries).
+	ents, nhs, origin, binf := u.View()
+	self := p.node.ID()
+	for i, e := range ents {
+		if nhs != nil && nhs[i] == self && e.Dst != origin {
+			e.Metric = binf
+		}
 		// Fast no-op rejection: an entry that is not from the current next
 		// hop and does not beat the current metric changes nothing (§3.9.2
 		// leaves the route untouched). On a converging large network the
@@ -208,7 +281,7 @@ func (p *Protocol) HandleMessage(from routing.NodeID, msg netsim.Message) {
 				if metric > p.inf {
 					metric = p.inf
 				}
-				if metric >= rt.metric {
+				if metric >= int32(rt.metric) {
 					continue
 				}
 			}
@@ -217,9 +290,70 @@ func (p *Protocol) HandleMessage(from routing.NodeID, msg netsim.Message) {
 			changedAny = true
 		}
 	}
+	if b != nil && b.Full && u.LastChunk() {
+		// The sender's whole table at b.Ver is now incorporated. The
+		// via-list resolves lazily on the first skip attempt.
+		p.seen[from] = nbrSeen{ver: b.Ver, tv: p.ver, nvia: viaUnknown}
+	}
 	if changedAny {
 		p.adv.RouteChanged()
 	}
+}
+
+// resolveVia scans the table for destinations routed via the neighbor
+// (excluding the neighbor itself), filling the watermark's via-list or
+// marking it over-cap.
+func (p *Protocol) resolveVia(from routing.NodeID, ns nbrSeen) nbrSeen {
+	ns.nvia = 0
+	for dst := routing.NodeID(0); int(dst) < len(p.table); dst++ {
+		rt := &p.table[dst]
+		if !rt.valid || rt.nextHop != from || dst == from {
+			continue
+		}
+		if ns.nvia == viaCap {
+			ns.nvia = viaMany
+			break
+		}
+		ns.via[ns.nvia] = dst
+		ns.nvia++
+	}
+	return ns
+}
+
+// refreshVia re-arms the timeout of the route to dst (next hop: the
+// sending neighbor) exactly as full processing of this chunk would: if the
+// chunk carries dst at a finite metric, the deadline resets. Entries are
+// sorted by destination, so a binary search finds the slot.
+func (p *Protocol) refreshVia(u *routing.VectorUpdate, from, dst routing.NodeID, now time.Duration) {
+	lo, hi := 0, u.Len()
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if u.EntryAt(mid).Dst < dst {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo >= u.Len() {
+		return
+	}
+	e := u.EntryAt(lo)
+	if e.Dst != dst {
+		return
+	}
+	metric := e.Metric + 1
+	if metric > p.inf {
+		metric = p.inf
+	}
+	if metric >= p.inf {
+		return // poisoned or unreachable: processing would not refresh
+	}
+	rt := p.route(dst)
+	if rt == nil || rt.nextHop != from || int32(rt.metric) >= p.inf {
+		return
+	}
+	rt.deadline = now + p.cfg.Timeout
+	p.noteDeadline(rt.deadline)
 }
 
 // processEntry applies one received (dst, metric) pair per RFC 2453 §3.9.2
@@ -239,45 +373,43 @@ func (p *Protocol) processEntry(from routing.NodeID, e routing.VectorEntry, now 
 			return false
 		}
 		rt = p.insert(e.Dst)
-		rt.metric, rt.nextHop, rt.expire = metric, from, now+p.cfg.Timeout
+		rt.metric, rt.nextHop, rt.deadline = int16(metric), from, now+p.cfg.Timeout
 		p.setChanged(e.Dst, rt)
-		p.noteDeadline(rt.expire)
+		p.noteDeadline(rt.deadline)
 		p.node.SetRoute(e.Dst, from)
 		return true
 
 	case from == rt.nextHop:
 		// News from the current next hop is always believed, even if worse.
 		if metric < p.inf {
-			rt.expire = now + p.cfg.Timeout
-			p.noteDeadline(rt.expire)
+			rt.deadline = now + p.cfg.Timeout
+			p.noteDeadline(rt.deadline)
 		}
-		if metric == rt.metric {
+		if metric == int32(rt.metric) {
 			return false
 		}
-		wasReachable := rt.metric < p.inf
-		rt.metric = metric
+		wasReachable := int32(rt.metric) < p.inf
+		rt.metric = int16(metric)
 		p.setChanged(e.Dst, rt)
 		if metric >= p.inf {
 			if wasReachable {
-				rt.gcAt = now + p.cfg.GCTime
-				p.noteDeadline(rt.gcAt)
+				rt.deadline = now + p.cfg.GCTime
+				p.noteDeadline(rt.deadline)
 				p.node.ClearRoute(e.Dst)
 			}
 		} else {
-			rt.gcAt = 0
 			// The route may be coming back from unreachable via the same
 			// next hop; (re)install the forwarding entry either way.
 			p.node.SetRoute(e.Dst, from)
 		}
 		return true
 
-	case metric < rt.metric:
-		rt.metric = metric
+	case metric < int32(rt.metric):
+		rt.metric = int16(metric)
 		rt.nextHop = from
-		rt.expire = now + p.cfg.Timeout
-		rt.gcAt = 0
+		rt.deadline = now + p.cfg.Timeout
 		p.setChanged(e.Dst, rt)
-		p.noteDeadline(rt.expire)
+		p.noteDeadline(rt.deadline)
 		p.node.SetRoute(e.Dst, from)
 		return true
 	}
@@ -293,13 +425,13 @@ func (p *Protocol) LinkDown(neighbor routing.NodeID) {
 	changedAny := false
 	for dst := routing.NodeID(0); int(dst) < len(p.table); dst++ {
 		rt := &p.table[dst]
-		if !rt.valid || rt.nextHop != neighbor || rt.metric >= p.inf {
+		if !rt.valid || rt.nextHop != neighbor || int32(rt.metric) >= p.inf {
 			continue
 		}
-		rt.metric = p.inf
-		rt.gcAt = now + p.cfg.GCTime
+		rt.metric = int16(p.inf)
+		rt.deadline = now + p.cfg.GCTime
 		p.setChanged(dst, rt)
-		p.noteDeadline(rt.gcAt)
+		p.noteDeadline(rt.deadline)
 		p.node.ClearRoute(dst)
 		changedAny = true
 	}
@@ -312,8 +444,9 @@ func (p *Protocol) LinkDown(neighbor routing.NodeID) {
 // receives our full table (standing in for RIP's request/response exchange).
 func (p *Protocol) LinkUp(neighbor routing.NodeID) {
 	p.up[neighbor] = true
-	p.collectFull()
-	p.sendPending(neighbor)
+	p.stage(true)
+	p.sendStaged(neighbor)
+	p.snd.End()
 }
 
 // housekeep expires timed-out routes and garbage-collects dead ones. The
@@ -334,24 +467,22 @@ func (p *Protocol) housekeep() {
 		if !rt.valid || dst == self {
 			continue
 		}
-		if rt.metric < p.inf && now >= rt.expire {
-			rt.metric = p.inf
-			rt.gcAt = now + p.cfg.GCTime
+		if int32(rt.metric) < p.inf && now >= rt.deadline {
+			rt.metric = int16(p.inf)
+			rt.deadline = now + p.cfg.GCTime
 			p.setChanged(dst, rt)
 			p.node.ClearRoute(dst)
 			changedAny = true
 		}
-		if rt.metric >= p.inf && rt.gcAt > 0 && now >= rt.gcAt {
+		if int32(rt.metric) >= p.inf && rt.deadline > 0 && now >= rt.deadline {
 			rt.valid = false
+			p.nlive--
+			p.ver++ // deletions drop out of the advertised table too
 			continue
 		}
 		// Track the surviving entry's next deadline for the skip bound.
-		if rt.metric < p.inf {
-			if rt.expire < next {
-				next = rt.expire
-			}
-		} else if rt.gcAt > 0 && rt.gcAt < next {
-			next = rt.gcAt
+		if rt.deadline > 0 && rt.deadline < next {
+			next = rt.deadline
 		}
 	}
 	p.nextDeadline = next
@@ -362,52 +493,51 @@ func (p *Protocol) housekeep() {
 }
 
 // broadcastFull sends the whole table to every up neighbor.
-func (p *Protocol) broadcastFull() {
-	p.collectFull()
-	for _, n := range p.node.Neighbors() {
-		if p.up[n] {
-			p.sendPending(n)
-		}
-	}
-	p.clearChanged()
-}
+func (p *Protocol) broadcastFull() { p.broadcast(true) }
 
 // broadcastChanged sends only routes with the changed flag (a triggered
 // update) to every up neighbor.
-func (p *Protocol) broadcastChanged() {
-	p.collectChanged()
+func (p *Protocol) broadcastChanged() { p.broadcast(false) }
+
+func (p *Protocol) broadcast(full bool) {
+	p.stage(full)
 	for _, n := range p.node.Neighbors() {
 		if p.up[n] {
-			p.sendPending(n)
+			p.sendStaged(n)
 		}
 	}
+	p.snd.End()
 	p.clearChanged()
 }
 
-// collectFull stages every live route for advertisement, in ascending
-// destination order.
-func (p *Protocol) collectFull() {
-	p.pend = p.pend[:0]
-	for dst := routing.NodeID(0); int(dst) < len(p.table); dst++ {
-		rt := &p.table[dst]
-		if !rt.valid {
-			continue
+// stage snapshots one advertisement burst — the whole table, or only
+// routes with the changed flag (iterating the changed bitmap), in
+// ascending destination order either way — into the shared pooled
+// snapshot that all per-neighbor messages of this broadcast view.
+func (p *Protocol) stage(full bool) {
+	b := p.snd.Begin(p.node.ID(), p.inf, p.ver, full)
+	if full {
+		b.Grow(p.nlive)
+		for dst := routing.NodeID(0); int(dst) < len(p.table); dst++ {
+			rt := &p.table[dst]
+			if !rt.valid {
+				continue
+			}
+			b.Entries = append(b.Entries, routing.VectorEntry{Dst: dst, Metric: int32(rt.metric)})
+			b.NextHop = append(b.NextHop, rt.nextHop)
 		}
-		p.pend = append(p.pend, pending{dst: dst, nextHop: rt.nextHop, metric: rt.metric})
+		return
 	}
-}
-
-// collectChanged stages only routes with the changed flag (a triggered
-// update), iterating the changed bitmap — ascending destination order,
-// exactly like the full scan — so the cost scales with the change burst,
-// not the table.
-func (p *Protocol) collectChanged() {
-	p.pend = p.pend[:0]
+	need := 0
+	for _, word := range p.changedBits {
+		need += bits.OnesCount64(word)
+	}
+	b.Grow(need)
 	for w, word := range p.changedBits {
 		for word != 0 {
-			b := bits.TrailingZeros64(word)
-			word &^= 1 << uint(b)
-			dst := routing.NodeID(w<<6 + b)
+			bit := bits.TrailingZeros64(word)
+			word &^= 1 << uint(bit)
+			dst := routing.NodeID(w<<6 + bit)
 			if int(dst) >= len(p.table) {
 				break
 			}
@@ -415,31 +545,35 @@ func (p *Protocol) collectChanged() {
 			if !rt.valid || !rt.changed {
 				continue // stale bit (entry replaced or garbage-collected)
 			}
-			p.pend = append(p.pend, pending{dst: dst, nextHop: rt.nextHop, metric: rt.metric})
+			b.Entries = append(b.Entries, routing.VectorEntry{Dst: dst, Metric: int32(rt.metric)})
+			b.NextHop = append(b.NextHop, rt.nextHop)
 		}
 	}
 }
 
-// sendPending composes and transmits the staged routes to one neighbor,
-// applying split horizon (with poisoned reverse when configured). The
-// entry slice is allocated at exact size and handed off to the packed
-// messages, which alias it until delivery.
-func (p *Protocol) sendPending(to routing.NodeID) {
-	if len(p.pend) == 0 {
+// sendStaged transmits the staged burst to one neighbor. With poisoned
+// reverse the per-neighbor wire images differ only in poisoned metric
+// values, so the messages are zero-copy views of the shared snapshot;
+// plain split horizon (§4.2 ablation) omits entries instead, changing
+// per-neighbor lengths, so that path materializes an explicit list
+// exactly as before.
+func (p *Protocol) sendStaged(to routing.NodeID) {
+	b := p.snd.Staged()
+	if len(b.Entries) == 0 {
 		return
 	}
-	entries := make([]routing.VectorEntry, 0, len(p.pend))
+	if p.cfg.PoisonReverse {
+		sent := p.snd.SendTo(p.node, &p.cfg, to)
+		p.node.Metrics().Add(obs.ProtoUpdatesSent, uint64(sent))
+		return
+	}
+	entries := make([]routing.VectorEntry, 0, len(b.Entries))
 	self := p.node.ID()
-	for i := range p.pend {
-		e := &p.pend[i]
-		metric := e.metric
-		if e.nextHop == to && e.dst != self {
-			if !p.cfg.PoisonReverse {
-				continue // plain split horizon: stay silent
-			}
-			metric = p.inf
+	for i, e := range b.Entries {
+		if b.NextHop[i] == to && e.Dst != self {
+			continue // plain split horizon: stay silent
 		}
-		entries = append(entries, routing.VectorEntry{Dst: e.dst, Metric: metric})
+		entries = append(entries, e)
 	}
 	for _, msg := range p.cfg.PackEntries(entries) {
 		p.node.Metrics().Inc(obs.ProtoUpdatesSent)

@@ -93,16 +93,23 @@ func TestCountsToInfinityThenWithdraws(t *testing.T) {
 	}
 }
 
-// sniffer records vector updates received by a node.
+// sniffer records vector updates received by a node. Updates are pooled
+// and reused after delivery, so the entries are snapshotted (via EntryAt,
+// which also applies the sender's read-time poisoning) rather than
+// retained.
 type sniffer struct {
-	updates []*routing.VectorUpdate
+	updates [][]routing.VectorEntry
 	froms   []routing.NodeID
 }
 
 func (s *sniffer) Start() {}
 func (s *sniffer) HandleMessage(from netsim.NodeID, msg netsim.Message) {
 	if u, ok := msg.(*routing.VectorUpdate); ok {
-		s.updates = append(s.updates, u)
+		entries := make([]routing.VectorEntry, u.Len())
+		for i := range entries {
+			entries[i] = u.EntryAt(i)
+		}
+		s.updates = append(s.updates, entries)
 		s.froms = append(s.froms, from)
 	}
 }
@@ -113,7 +120,7 @@ func (s *sniffer) LinkUp(netsim.NodeID)   {}
 func (s *sniffer) entryFor(dst routing.NodeID) (int, bool) {
 	metric, found := 0, false
 	for _, u := range s.updates {
-		for _, e := range u.Entries {
+		for _, e := range u {
 			if e.Dst == dst {
 				metric, found = int(e.Metric), true
 			}

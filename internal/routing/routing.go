@@ -77,15 +77,95 @@ type VectorEntry struct {
 	Metric int32
 }
 
-// VectorUpdate is a RIP/DBF update message: up to MaxEntries entries.
+// VectorUpdate is a RIP/DBF update message: up to MaxEntries entries. It
+// comes in two forms. An explicit update carries its own Entries slice
+// (PackEntries, the wire decoder, and hand-built test messages). A
+// burst-backed update instead views an index range of a shared Burst
+// snapshot and applies split horizon with poisoned reverse at read time;
+// receivers must therefore iterate with Len and EntryAt, which handle both
+// forms. Burst-backed shells are pooled: the network releases each one
+// exactly once when its flight ends (netsim.PooledMessage), so receivers
+// must not retain them past HandleMessage.
 type VectorUpdate struct {
 	Entries []VectorEntry
+	burst   *Burst
+	start   int32
+	end     int32
+	to      NodeID // receiving neighbor, the poisoned-reverse target
 	header  int
 	entry   int
+	pool    *BurstSender
+}
+
+var _ netsim.PooledMessage = (*VectorUpdate)(nil)
+
+// Len returns the number of entries carried.
+func (u *VectorUpdate) Len() int {
+	if u.burst != nil {
+		return int(u.end - u.start)
+	}
+	return len(u.Entries)
+}
+
+// EntryAt returns entry i as it appears on the wire for this update's
+// receiver: burst-backed entries whose staged next hop is the receiver are
+// poisoned to infinity (split horizon with poisoned reverse), except the
+// sender's own self-route.
+func (u *VectorUpdate) EntryAt(i int) VectorEntry {
+	if b := u.burst; b != nil {
+		j := int(u.start) + i
+		e := b.Entries[j]
+		if b.NextHop[j] == u.to && e.Dst != b.Origin {
+			e.Metric = b.Inf
+		}
+		return e
+	}
+	return u.Entries[i]
+}
+
+// Burst returns the shared snapshot backing this update, or nil for an
+// explicit update.
+func (u *VectorUpdate) Burst() *Burst { return u.burst }
+
+// View exposes the update for tight receive loops without per-entry call
+// overhead: entries[i] pairs with nextHop[i], and the receiver must read
+// an entry at metric inf when its staged next hop is the receiver itself
+// and its destination is not origin (the poisoning EntryAt applies).
+// Explicit updates return a nil nextHop: entries are already literal.
+func (u *VectorUpdate) View() (entries []VectorEntry, nextHop []NodeID, origin NodeID, inf int32) {
+	if b := u.burst; b != nil {
+		return b.Entries[u.start:u.end], b.NextHop[u.start:u.end], b.Origin, b.Inf
+	}
+	return u.Entries, nil, 0, 0
+}
+
+// LastChunk reports whether this is the final chunk of its burst — the
+// point at which a receiver has seen the whole snapshot (links deliver
+// in order).
+func (u *VectorUpdate) LastChunk() bool {
+	return u.burst != nil && int(u.end) == len(u.burst.Entries)
+}
+
+// Release implements netsim.PooledMessage: burst-backed shells return to
+// their sender's free list and drop their snapshot reference. Explicit
+// updates (no pool, no burst) are unpooled and unaffected, so tests may
+// hold them across deliveries.
+func (u *VectorUpdate) Release() {
+	b, pl := u.burst, u.pool
+	if b == nil && pl == nil {
+		return
+	}
+	*u = VectorUpdate{}
+	if pl != nil {
+		pl.shells = append(pl.shells, u)
+	}
+	if b != nil {
+		b.Release()
+	}
 }
 
 // SizeBytes implements netsim.Message.
-func (u *VectorUpdate) SizeBytes() int { return u.header + u.entry*len(u.Entries) }
+func (u *VectorUpdate) SizeBytes() int { return u.header + u.entry*u.Len() }
 
 // PackEntries splits entries into update messages holding at most
 // cfg.MaxEntries each.

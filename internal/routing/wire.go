@@ -28,10 +28,12 @@ func nodeForAddr(addr uint32) NodeID { return NodeID(addr & 0x00FF_FFFF) }
 
 // Encode renders the update as an RFC 2453 RIP response payload.
 func (u *VectorUpdate) Encode() []byte {
-	buf := make([]byte, ripHeaderLen+ripEntryLen*len(u.Entries))
+	n := u.Len()
+	buf := make([]byte, ripHeaderLen+ripEntryLen*n)
 	buf[0] = ripCommandResponse
 	buf[1] = ripVersion
-	for i, e := range u.Entries {
+	for i := 0; i < n; i++ {
+		e := u.EntryAt(i)
 		off := ripHeaderLen + i*ripEntryLen
 		binary.BigEndian.PutUint16(buf[off:], ripAFIInet)
 		// Route tag (2 bytes) stays zero.

@@ -65,6 +65,73 @@ func TestReadErrors(t *testing.T) {
 	}
 }
 
+// TestReadMalformedDiagnostics pins the parser's rejection messages for
+// malformed edge lists: each must carry the 1-based line number of the
+// offending line and name the bad token, so a multi-gigabyte snapshot
+// import fails with an actionable error. Both importers share the parser,
+// so the remapped path must reject identically.
+func TestReadMalformedDiagnostics(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want []string // substrings the error must contain
+	}{
+		{
+			name: "bad cost",
+			in:   "0 1\n1 2 fast\n",
+			want: []string{"line 2", `bad cost "fast"`},
+		},
+		{
+			name: "self-loop",
+			in:   "0 1\n1 2\n3 3\n",
+			want: []string{"line 3", "self-loop at node 3"},
+		},
+		{
+			name: "truncated line",
+			in:   "0 1\n1\n",
+			want: []string{"line 2", `want "a b [cost]"`},
+		},
+		{
+			name: "truncated final line without newline",
+			in:   "0 1\n2",
+			want: []string{"line 2", `want "a b [cost]"`},
+		},
+		{
+			name: "non-numeric id",
+			in:   "0 one\n",
+			want: []string{"line 1", `bad node ID "one"`},
+		},
+		{
+			name: "negative id",
+			in:   "0 1\n-2 3\n",
+			want: []string{"line 2", "negative node ID -2"},
+		},
+		{
+			name: "blank and comment lines do not shift numbering",
+			in:   "# header\n\n0 1\n\n1 1\n",
+			want: []string{"line 5", "self-loop"},
+		},
+	}
+	readers := map[string]func(*strings.Reader) error{
+		"Read":         func(r *strings.Reader) error { _, err := Read(r); return err },
+		"ReadRemapped": func(r *strings.Reader) error { _, err := ReadRemapped(r); return err },
+	}
+	for _, tc := range cases {
+		for rname, read := range readers {
+			err := read(strings.NewReader(tc.in))
+			if err == nil {
+				t.Errorf("%s/%s: parsed %q, want error", tc.name, rname, tc.in)
+				continue
+			}
+			for _, w := range tc.want {
+				if !strings.Contains(err.Error(), w) {
+					t.Errorf("%s/%s: error %q does not mention %q", tc.name, rname, err, w)
+				}
+			}
+		}
+	}
+}
+
 func TestReadRemapped(t *testing.T) {
 	// Sparse AS-number-style labels densify in first-appearance order.
 	g, err := ReadRemapped(strings.NewReader("7018 3356\n3356 701\n7018 701\n"))
