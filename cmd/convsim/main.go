@@ -7,8 +7,11 @@
 //	convsim [-protocol dbf] [-degree 4] [-rows 7] [-cols 7] [-trials 10]
 //	        [-topo ba:n=10000,m=2] [-senderstart 390s] [-failat 400s]
 //	        [-end 800s] [-seed 1] [-flows 1] [-rate 20] [-shards 8]
+//	        [-scenario "fail link 3-7 @400s; loss link 1-2 p=0.01 @410s"]
 //	        [-timeline out.ndjson] [-cpuprofile FILE] [-memprofile FILE]
 //
+// With -scenario, the default single-link failure schedule is replaced by
+// the given disturbance script (grammar and semantics: SCENARIOS.md).
 // With -timeline, trial 0 is replayed with the convergence timeline
 // attached and the records are written as NDJSON (schema: OBSERVABILITY.md).
 package main
@@ -117,6 +120,9 @@ func run(args []string) error {
 	fmt.Printf("mean drops (TTL expired):    %.1f\n", res.MeanTTLDrops)
 	fmt.Printf("mean drops (onto dead link): %.1f\n", res.MeanLinkDrops)
 	fmt.Printf("mean drops (queue overflow): %.1f\n", res.MeanQueueDrops)
+	if res.MeanRandomLoss > 0 {
+		fmt.Printf("mean drops (random loss):    %.1f\n", res.MeanRandomLoss)
+	}
 	fmt.Printf("forwarding convergence:      %.2f s\n", res.MeanFwdConv)
 	fmt.Printf("routing convergence:         %.2f s\n", res.MeanRoutingConv)
 	fmt.Printf("transient forwarding paths:  %.1f\n", res.MeanTransientPath)

@@ -10,6 +10,7 @@
 //
 //	sweep [-spec spec.json] [-protocols rip,dbf,bgp,bgp3] [-degrees 3-10]
 //	      [-topos "ba:n=10000,m=2;fattree:k=8"] [-trials N] [-seed S]
+//	      [-scenarios "fail link 3-7 @400s|churn links rate=0.1/s @450s..600s"]
 //	      [-shards K] [-metrics] [-out DIR] [-cache DIR] [-workers N]
 //	      [-force] [-plan] [-q] [-cpuprofile FILE] [-memprofile FILE]
 //
@@ -50,6 +51,7 @@ func run(ctx context.Context, args []string) error {
 		protocolsFlag = fs.String("protocols", "rip,dbf,bgp,bgp3", "comma-separated protocols")
 		degreesFlag   = fs.String("degrees", "3-10", "node degrees, e.g. 3-16 or 3,4,5,6 (\"\" with -topos for a topo-only sweep)")
 		toposFlag     = fs.String("topos", "", "semicolon-separated topology specs, e.g. ba:n=10000,m=2;fattree:k=8")
+		scenariosFlag = fs.String("scenarios", "", "|-separated scenario scripts swept as failure modes (scripts use ';' internally; see SCENARIOS.md)")
 		trials        = fs.Int("trials", 20, "trials per cell (paper: 100)")
 		seed          = fs.Int64("seed", 1, "base random seed")
 		flowsFlag     = fs.String("flows", "", "flow counts as an extra axis, e.g. 1,100,10000 (default: the base config's single flow)")
@@ -125,6 +127,13 @@ func run(ctx context.Context, args []string) error {
 			Topos:     topos,
 			Trials:    *trials,
 			Seed:      *seed,
+		}
+	}
+	if *scenariosFlag != "" {
+		for _, sc := range strings.Split(*scenariosFlag, "|") {
+			if sc = strings.TrimSpace(sc); sc != "" {
+				spec.Scenarios = append(spec.Scenarios, sc)
+			}
 		}
 	}
 	if *flowsFlag != "" {

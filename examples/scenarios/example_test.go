@@ -1,0 +1,43 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"routeconv"
+)
+
+// ExampleParseScenario parses the text grammar from SCENARIOS.md; the
+// script round-trips through String with durations in Go's canonical form.
+func ExampleParseScenario() {
+	script, err := routeconv.ParseScenario(
+		"fail link 3-7 @400s; loss link 1-2 p=0.01 @410s; churn links rate=0.1/s @450s..600s")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, e := range script.Events {
+		fmt.Println(e)
+	}
+	// Output:
+	// fail link 3-7 @6m40s
+	// loss link 1-2 p=0.01 @6m50s
+	// churn links rate=0.1/s down=1s @7m30s..10m0s
+}
+
+// ExampleNewScenario builds the flap-damping schedule programmatically and
+// validates it against a topology before any simulation runs.
+func ExampleNewScenario() {
+	script := routeconv.NewScenario().
+		FailPath(400*time.Second, 3*time.Second, 5).
+		Loss(395*time.Second, 21, 22, 0.01).
+		Script()
+	fmt.Println(script)
+
+	cfg := routeconv.DefaultConfig()
+	cfg.Script = script
+	fmt.Println("valid:", cfg.Validate() == nil)
+	// Output:
+	// loss link 21-22 p=0.01 @6m35s; failpath @6m40s restore=3s flaps=5
+	// valid: true
+}

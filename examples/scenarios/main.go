@@ -1,0 +1,78 @@
+// Scenarios demonstrates the composable disturbance-script engine: instead
+// of the paper's single hard-coded on-path failure, an experiment takes a
+// declarative schedule of failures, repairs, flap storms, random loss, and
+// continuous churn — written either with the builder API or in the compact
+// text grammar (full reference: SCENARIOS.md).
+//
+// The demo runs BGP through two schedules on the default 7×7 mesh:
+//
+//  1. the paper's on-path failure, but with 2% random loss on every link
+//     into the receiver's row — a cut each delivered packet must cross, and
+//     one that hits control traffic too, breaking BGP's reliable-delivery
+//     assumption — and
+//  2. a five-cycle flap storm on the failed link (the damping scenario).
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"routeconv"
+)
+
+func main() {
+	// Schedule 1, text grammar: the measured on-path failure at 400 s plus
+	// random loss on the seven vertical links into the mesh's last row
+	// (nodes 42–48), where the receivers attach.
+	lossy, err := routeconv.ParseScenario(`
+		failpath @400s
+		loss link 35-42 p=0.02 @395s; loss link 36-43 p=0.02 @395s
+		loss link 37-44 p=0.02 @395s; loss link 38-45 p=0.02 @395s
+		loss link 39-46 p=0.02 @395s; loss link 40-47 p=0.02 @395s
+		loss link 41-48 p=0.02 @395s
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Schedule 2, builder API: the same failure cycled into a flap storm
+	// (restore after 3 s, five cycles) — the damping experiment's schedule.
+	storm := routeconv.NewScenario().
+		FailPath(400*time.Second, 3*time.Second, 5).
+		Script()
+
+	for _, sc := range []struct {
+		name   string
+		script *routeconv.ScenarioScript
+	}{
+		{"lossy links", lossy},
+		{"flap storm", storm},
+	} {
+		cfg := routeconv.DefaultConfig()
+		cfg.Protocol = routeconv.ProtoBGP3
+		cfg.Trials = 5
+		cfg.End = cfg.FailAt + 120*time.Second
+		cfg.Script = sc.script
+
+		fmt.Fprintf(os.Stderr, "running %q: %s\n", sc.name, sc.script)
+		res, err := routeconv.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s:\n", sc.name)
+		fmt.Printf("  delivery ratio:            %.4f\n", res.DeliveryRatio)
+		fmt.Printf("  mean drops (no route):     %.1f\n", res.MeanNoRouteDrops)
+		fmt.Printf("  mean drops (random loss):  %.1f\n", res.MeanRandomLoss)
+		fmt.Printf("  mean drops (dead link):    %.1f\n", res.MeanLinkDrops)
+		fmt.Printf("  forwarding convergence:    %.2f s\n", res.MeanFwdConv)
+		fmt.Println()
+	}
+
+	fmt.Println("What to look for:")
+	fmt.Println("  - Random loss drops appear only in the lossy schedule: the scenario")
+	fmt.Println("    engine charges each lost packet to its own drop cause.")
+	fmt.Println("  - The flap storm's repeated failures stretch forwarding convergence")
+	fmt.Println("    past the single-failure case — each cycle restarts path exploration.")
+}

@@ -33,6 +33,9 @@ func (c *Config) CanonicalString() (string, error) {
 	if err := r.ResolveTopology(); err != nil {
 		return "", fmt.Errorf("core: canonicalize config: %w", err)
 	}
+	if err := r.ResolveScenario(); err != nil {
+		return "", fmt.Errorf("core: canonicalize config: %w", err)
+	}
 	var sb strings.Builder
 	sb.WriteString(canonVersion)
 	sb.WriteByte(';')

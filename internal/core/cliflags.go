@@ -36,6 +36,9 @@ type ExperimentFlags struct {
 	Mode string
 	// Shards is the number of parallel simulation shards; ≤1 is sequential.
 	Shards int
+	// Scenario is a disturbance script in the text grammar (SCENARIOS.md);
+	// empty keeps the default single-link failure schedule.
+	Scenario string
 }
 
 // Register declares the mesh flags plus -protocol, -seed and -mode on fs,
@@ -48,6 +51,8 @@ func (e *ExperimentFlags) Register(fs *flag.FlagSet) {
 		"background-flow traffic engine: packet, fluid, hybrid (flow 0 is always packet-simulated)")
 	fs.IntVar(&e.Shards, "shards", e.Shards,
 		"parallel simulation shards per trial (conservative sync; ≤1 = sequential, results identical)")
+	fs.StringVar(&e.Scenario, "scenario", e.Scenario,
+		`disturbance script, e.g. "fail link 3-7 @400s; loss link 1-2 p=0.01 @410s" (see SCENARIOS.md)`)
 }
 
 // Config resolves the parsed flags into an experiment configuration:
@@ -70,5 +75,13 @@ func (e *ExperimentFlags) Config() (Config, error) {
 		cfg.Mode = mode
 	}
 	cfg.Shards = e.Shards
+	if e.Scenario != "" {
+		cfg.Scenario = e.Scenario
+		// A script replaces the default failure schedule wholesale; clear
+		// the legacy knobs so Validate doesn't reject the combination.
+		cfg.RestoreAfter = 0
+		cfg.Flaps = 0
+		cfg.ExtraFailAts = nil
+	}
 	return cfg, nil
 }

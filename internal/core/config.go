@@ -15,6 +15,7 @@ import (
 	"routeconv/internal/routing/dbf"
 	"routeconv/internal/routing/ls"
 	"routeconv/internal/routing/rip"
+	"routeconv/internal/scenario"
 	"routeconv/internal/topology"
 	"routeconv/internal/topology/topoio"
 )
@@ -225,6 +226,22 @@ type Config struct {
 	// fails at FailAt + i·2·RestoreAfter. Used by the route-flap-damping
 	// experiments.
 	Flaps int
+	// Scenario, when non-empty, is a disturbance script in the scenario
+	// text grammar ("fail link 3-7 @400s; loss link 1-2 p=0.01 @410s";
+	// full reference in SCENARIOS.md) that replaces the default failure
+	// schedule. ResolveScenario parses it into Script and clears it, so
+	// the canonical config — and thus sweep cache keys — depends only on
+	// the event list, never on the script text. Mutually exclusive with a
+	// non-nil Script and with the legacy RestoreAfter/Flaps/ExtraFailAts
+	// knobs. FailAt remains the measurement anchor (post-failure drop
+	// windows, convergence times, timeline summaries) for scripted runs.
+	Scenario string
+	// Script, when non-nil, is the parsed disturbance schedule executed
+	// by the trial (built with scenario.NewBuilder or scenario.Parse).
+	// When both Scenario and Script are empty, the legacy
+	// FailAt/RestoreAfter/Flaps/ExtraFailAts fields compile to an
+	// equivalent script — bit-for-bit, the golden fixtures pin it.
+	Script *scenario.Script
 	// Metrics enables the obs counter layer: each trial carries a
 	// TrialResult.Metrics snapshot (and the Result sums them). Counting is
 	// passive — it never changes simulation outcomes — but the flag is part
@@ -310,6 +327,44 @@ func (c *Config) ResolveTopology() error {
 	return nil
 }
 
+// ResolveScenario parses a Scenario script string into Script, then clears
+// Scenario: the resolved config — canonical hash included — depends only on
+// the parsed event list. It is a no-op when Scenario is empty, and an error
+// when both Scenario and Script are set.
+func (c *Config) ResolveScenario() error {
+	if c.Scenario == "" {
+		return nil
+	}
+	if c.Script != nil {
+		return fmt.Errorf("core: Scenario %q and Script are mutually exclusive", c.Scenario)
+	}
+	sc, err := scenario.Parse(c.Scenario)
+	if err != nil {
+		return err
+	}
+	c.Script = sc
+	c.Scenario = ""
+	return nil
+}
+
+// effectiveScript returns the trial's disturbance schedule: the explicit
+// Script when set, otherwise the legacy FailAt/RestoreAfter/Flaps/
+// ExtraFailAts fields compiled to their equivalent script (one failpath
+// event plus one failrandom per extra failure). The compiled script's
+// executor reproduces the original hard-coded schedule bit-for-bit: same
+// closures, same randomness draws, same scheduling order.
+func (c *Config) effectiveScript() *scenario.Script {
+	if c.Script != nil {
+		return c.Script
+	}
+	b := scenario.NewBuilder()
+	b.FailPath(c.FailAt, c.RestoreAfter, c.Flaps)
+	for _, at := range c.ExtraFailAts {
+		b.FailRandom(at)
+	}
+	return b.Script()
+}
+
 // Validate reports the first problem with the configuration, or nil.
 func (c *Config) Validate() error {
 	if c.Topo != "" {
@@ -376,7 +431,48 @@ func (c *Config) Validate() error {
 	if c.RestoreAfter < 0 {
 		return fmt.Errorf("core: RestoreAfter must not be negative")
 	}
+	if err := c.validateScenario(); err != nil {
+		return err
+	}
 	return nil
+}
+
+// validateScenario checks the scripted disturbance schedule: the
+// Scenario/Script exclusivity rules, and every scripted event against the
+// horizon and — when the topology is known — the actual link and node set,
+// plus cross-event ordering (no restore before a fail). See the bug the
+// original Validate had: it cross-checked only FailAt against
+// SenderStart/End, so a script could silently reference links that never
+// existed or fire after the run ended.
+func (c *Config) validateScenario() error {
+	script := c.Script
+	if c.Scenario != "" {
+		if script != nil {
+			return fmt.Errorf("core: Scenario %q and Script are mutually exclusive", c.Scenario)
+		}
+		parsed, err := scenario.Parse(c.Scenario)
+		if err != nil {
+			return err
+		}
+		script = parsed
+	}
+	if script == nil {
+		return nil
+	}
+	if c.RestoreAfter != 0 || c.Flaps != 0 || len(c.ExtraFailAts) > 0 {
+		return fmt.Errorf("core: a scenario script and the legacy RestoreAfter/Flaps/ExtraFailAts knobs are mutually exclusive; script the schedule instead (see SCENARIOS.md)")
+	}
+	// Reference checks need the graph. A resolved Topology has it; the
+	// default mesh is cheap to build; an unresolved Topo spec defers
+	// reference checks to the post-ResolveTopology Validate in
+	// RunContext/TraceObserved (building the spec here could read files).
+	g := c.Topology
+	if g == nil && c.Topo == "" {
+		if mesh, err := topology.NewMesh(c.Rows, c.Cols, c.Degree); err == nil {
+			g = mesh.Graph
+		}
+	}
+	return script.Validate(c.End, g)
 }
 
 // factory resolves the protocol constructor for this configuration.

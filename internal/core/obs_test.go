@@ -46,6 +46,7 @@ func TestMetricsConservation(t *testing.T) {
 				{"drops.ttl_expired", tr.TTLDrops},
 				{"drops.link_failure", tr.LinkFailureDrops},
 				{"drops.queue_overflow", tr.QueueDrops},
+				{"drops.random_loss", tr.RandomLossDrops},
 			}
 			for _, mm := range mirror {
 				if got := m[mm.key]; got != uint64(mm.want) {
@@ -56,7 +57,8 @@ func TestMetricsConservation(t *testing.T) {
 			// Conservation: every sent packet has exactly one fate.
 			accounted := m["packets.delivered"] + m["drops.no_route"] +
 				m["drops.ttl_expired"] + m["drops.queue_overflow"] +
-				m["drops.link_failure"] + m["packets.in_flight_end"]
+				m["drops.link_failure"] + m["drops.random_loss"] +
+				m["packets.in_flight_end"]
 			if accounted != m["packets.sent"] {
 				t.Errorf("conservation violated: delivered+drops+in_flight = %d, sent = %d\nsnapshot: %v",
 					accounted, m["packets.sent"], m)

@@ -38,6 +38,10 @@ type TrialResult struct {
 	// NoRouteDrops .. QueueDrops count the flow's data packets lost at or
 	// after the failure, by cause (Figures 3 and 4).
 	NoRouteDrops, TTLDrops, LinkFailureDrops, QueueDrops int
+	// RandomLossDrops counts the flow's data packets lost at or after the
+	// failure to scenario-scripted lossy links (zero without a loss
+	// event).
+	RandomLossDrops int
 	// RoutingConvergence is the network routing convergence time (§5.4).
 	RoutingConvergence time.Duration
 	// ForwardingConvergence is the forwarding path convergence delay (§5.4).
@@ -74,6 +78,7 @@ type Result struct {
 	MeanTTLDrops      float64
 	MeanLinkDrops     float64
 	MeanQueueDrops    float64
+	MeanRandomLoss    float64
 	MeanRoutingConv   float64 // seconds
 	MeanFwdConv       float64 // seconds
 	MeanTransientPath float64
@@ -105,9 +110,13 @@ func Run(cfg Config) (*Result, error) {
 // a cancelled experiment stops promptly instead of finishing its whole trial
 // batch. It returns ctx.Err() when cancelled.
 func RunContext(ctx context.Context, cfg Config) (*Result, error) {
-	// Resolve any Topo spec once, up front: the workers share cfg, and each
-	// trial then only clones the already-built graph.
+	// Resolve any Topo spec and Scenario script once, up front: the workers
+	// share cfg, and each trial then only clones the already-built graph
+	// and installs the already-parsed script.
 	if err := cfg.ResolveTopology(); err != nil {
+		return nil, err
+	}
+	if err := cfg.ResolveScenario(); err != nil {
 		return nil, err
 	}
 	if err := cfg.Validate(); err != nil {
@@ -204,6 +213,9 @@ func Trace(cfg Config, trial int) (TrialResult, *trace.Collector, error) {
 // trial's results are bit-for-bit those of Trace.
 func TraceObserved(cfg Config, trial int, tl *obs.Timeline) (TrialResult, *trace.Collector, error) {
 	if err := cfg.ResolveTopology(); err != nil {
+		return TrialResult{}, nil, err
+	}
+	if err := cfg.ResolveScenario(); err != nil {
 		return TrialResult{}, nil, err
 	}
 	if err := cfg.Validate(); err != nil {
@@ -348,81 +360,18 @@ func runTrial(cfg *Config, trial int, tl *obs.Timeline, compact bool) (TrialResu
 		}
 	}
 
-	// The primary failure: a random link on the first flow's actual
-	// forwarding path at the failure instant (§5).
+	// The disturbance schedule: the explicit scenario script when set,
+	// otherwise the legacy fields compiled to their equivalent script —
+	// whose failpath event is the paper's §5 random on-path failure.
 	primary := flows[0]
 	var failedLink topology.Edge
 	warmedUp := false
-	samplePaths := func() {
-		for _, f := range flows {
-			f.collector.SamplePath()
-		}
+	runner := &scenarioRunner{
+		cfg: cfg, s: s, net: net, g: g, meshEdges: meshEdges,
+		flows: flows, tl: tl, met: met,
+		failedLink: &failedLink, warmedUp: &warmedUp,
 	}
-	s.ScheduleAt(cfg.FailAt, func() {
-		path, ok := net.WalkPath(primary.srcHost, primary.dstHost)
-		warmedUp = ok
-		candidates := pathMeshLinks(path, ok)
-		if len(candidates) == 0 {
-			// Unconverged flow: fall back to the topological shortest path
-			// between the attachment routers.
-			sp, spOK := g.ShortestPath(primary.srcRouter, primary.dstRouter)
-			candidates = pathLinks(sp, spOK)
-		}
-		// Only recoverable failures are studied (the paper's flows always
-		// converge to a new path): links whose removal would disconnect
-		// the flow are not candidates.
-		candidates = recoverable(net, meshEdges, candidates, primary.srcRouter, primary.dstRouter)
-		if len(candidates) == 0 {
-			return // nothing to fail; the trial proceeds undisturbed
-		}
-		failedLink = candidates[s.Rand().Intn(len(candidates))]
-		net.FailLink(failedLink.A, failedLink.B)
-		samplePaths()
-		if cfg.RestoreAfter <= 0 {
-			return
-		}
-		// Link repair, optionally cycled into flaps (route-flap-damping
-		// experiments): cycle i fails at FailAt + i·2·RestoreAfter.
-		cycle := 2 * cfg.RestoreAfter
-		flaps := cfg.Flaps
-		if flaps < 1 {
-			flaps = 1
-		}
-		for i := 0; i < flaps; i++ {
-			downAt := cfg.FailAt + time.Duration(i)*cycle
-			s.ScheduleAt(downAt+cfg.RestoreAfter, func() {
-				net.RestoreLink(failedLink.A, failedLink.B)
-				samplePaths()
-			})
-			if i > 0 {
-				s.ScheduleAt(downAt, func() {
-					net.FailLink(failedLink.A, failedLink.B)
-					samplePaths()
-				})
-			}
-		}
-	})
-
-	// Extension: additional failures of random live mesh links.
-	for _, at := range cfg.ExtraFailAts {
-		at := at
-		s.ScheduleAt(at, func() {
-			var live []topology.Edge
-			for _, e := range meshEdges {
-				if l := net.Link(e.A, e.B); l != nil && l.Up() {
-					live = append(live, e)
-				}
-			}
-			if len(live) == 0 {
-				return
-			}
-			e := live[s.Rand().Intn(len(live))]
-			net.FailLink(e.A, e.B)
-			for _, f := range flows {
-				f.collector.SamplePath()
-			}
-		})
-	}
+	runner.install(cfg.effectiveScript())
 
 	if net.Sharded() {
 		net.RunSharded(cfg.End)
@@ -469,6 +418,7 @@ func runTrial(cfg *Config, trial int, tl *obs.Timeline, compact bool) (TrialResu
 		TTLDrops:              sumFlows(flows, cfg.FailAt, netsim.DropTTLExpired),
 		LinkFailureDrops:      sumFlows(flows, cfg.FailAt, netsim.DropLinkFailure),
 		QueueDrops:            sumFlows(flows, cfg.FailAt, netsim.DropQueueOverflow),
+		RandomLossDrops:       sumFlows(flows, cfg.FailAt, netsim.DropRandomLoss),
 		RoutingConvergence:    c.RoutingConvergence(cfg.FailAt),
 		ForwardingConvergence: c.ForwardingConvergence(cfg.FailAt),
 		TransientPaths:        c.TransientPaths(cfg.FailAt),
@@ -607,6 +557,7 @@ func (r *Result) aggregate() {
 		r.MeanTTLDrops += float64(t.TTLDrops)
 		r.MeanLinkDrops += float64(t.LinkFailureDrops)
 		r.MeanQueueDrops += float64(t.QueueDrops)
+		r.MeanRandomLoss += float64(t.RandomLossDrops)
 		r.MeanRoutingConv += t.RoutingConvergence.Seconds()
 		r.MeanFwdConv += t.ForwardingConvergence.Seconds()
 		r.MeanTransientPath += float64(t.TransientPaths)
@@ -627,6 +578,7 @@ func (r *Result) aggregate() {
 	r.MeanTTLDrops /= fn
 	r.MeanLinkDrops /= fn
 	r.MeanQueueDrops /= fn
+	r.MeanRandomLoss /= fn
 	r.MeanRoutingConv /= fn
 	r.MeanFwdConv /= fn
 	r.MeanTransientPath /= fn

@@ -8,6 +8,8 @@ import (
 	"strconv"
 	"testing"
 	"time"
+
+	"routeconv/internal/scenario"
 )
 
 // scaleSmokeConfig is the shared internet-scale trial: one full RIP
@@ -133,7 +135,8 @@ func TestHybridSmoke1M(t *testing.T) {
 	}
 	accounted := m["packets.delivered"] + m["drops.no_route"] +
 		m["drops.ttl_expired"] + m["drops.queue_overflow"] +
-		m["drops.link_failure"] + m["packets.in_flight_end"]
+		m["drops.link_failure"] + m["drops.random_loss"] +
+		m["packets.in_flight_end"]
 	if accounted != m["packets.sent"] {
 		t.Errorf("conservation violated at scale: accounted %d, sent %d", accounted, m["packets.sent"])
 	}
@@ -218,6 +221,67 @@ func TestShardSmoke10kBA(t *testing.T) {
 		fragment := fmt.Sprintf(`{"shard_smoke_10k_ba": {"sequential_wall_seconds": %.2f, "shards": %d, "sharded_wall_seconds": %.2f, "speedup": %.2f, "gomaxprocs": %d, "barrier_waits": %d, "cross_msgs": %d}}`+"\n",
 			seqWall.Seconds(), shards, parWall.Seconds(), speedup, runtime.GOMAXPROCS(0),
 			m["shard.barrier_waits"], m["shard.cross_msgs"])
+		if err := os.WriteFile(out, []byte(fragment), 0o644); err != nil {
+			t.Errorf("BENCH_OUT: %v", err)
+		}
+	}
+}
+
+// TestScenarioSmoke10kChurnLoss is the scenario engine's scale smoke: the
+// 10k-node BA convergence trial disturbed by a scripted schedule — the
+// paper's on-path failure, then continuous link churn with random loss on a
+// slice of links — with the packet-conservation identity as pass/fail.
+// Gated behind SCALE_SMOKE=1; budget override and BENCH_OUT as in CI.
+func TestScenarioSmoke10kChurnLoss(t *testing.T) {
+	if os.Getenv("SCALE_SMOKE") != "1" {
+		t.Skip("set SCALE_SMOKE=1 to run the 10k-node scenario smoke")
+	}
+	budget := smokeBudget(t)
+	cfg := scaleSmokeConfig()
+	cfg.Metrics = true
+	// Resolve the BA graph up front so the script can name real links.
+	if err := cfg.ResolveTopology(); err != nil {
+		t.Fatal(err)
+	}
+	b := scenario.NewBuilder()
+	b.FailPath(cfg.FailAt, 0, 0) // keep the paper's measured failure
+	b.Churn(16*time.Second, 22*time.Second, 2, 500*time.Millisecond)
+	// A tenth of the links (the low-id end of the sorted edge list, which
+	// includes the hubs) get 5% random loss just before the failure.
+	for _, e := range cfg.Topology.Edges()[:2000] {
+		b.Loss(14*time.Second, e.A, e.B, 0.05)
+	}
+	cfg.Script = b.Script()
+
+	defer debug.SetGCPercent(debug.SetGCPercent(400))
+
+	start := time.Now()
+	res, err := Run(cfg)
+	wall := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Trials[0].Metrics
+	t.Logf("10k-node BA churn+loss trial: wall=%.2fs delivery=%.4f events=%d churn_cycles=%d link_fails=%d random_loss=%d",
+		wall.Seconds(), res.DeliveryRatio, m["scenario.events"],
+		m["scenario.churn_cycles"], m["scenario.link_fails"], m["drops.random_loss"])
+	accounted := m["packets.delivered"] + m["drops.no_route"] +
+		m["drops.ttl_expired"] + m["drops.queue_overflow"] +
+		m["drops.link_failure"] + m["drops.random_loss"] +
+		m["packets.in_flight_end"]
+	if accounted != m["packets.sent"] {
+		t.Errorf("conservation violated under churn+loss at scale: accounted %d, sent %d", accounted, m["packets.sent"])
+	}
+	if m["scenario.churn_cycles"] == 0 {
+		t.Error("scenario.churn_cycles = 0 — the churn window never fired")
+	}
+	if wall > budget {
+		t.Errorf("trial took %.1fs, over the %.0fs budget — a scenario-engine scale regression", wall.Seconds(), budget.Seconds())
+	}
+	if out := os.Getenv("BENCH_OUT"); out != "" {
+		fragment := fmt.Sprintf(`{"scenario_smoke_10k_churn_loss": {"wall_seconds": %.2f, "delivery": %.4f, "events": %d, "churn_cycles": %d, "random_loss": %d}}`+"\n",
+			wall.Seconds(), res.DeliveryRatio, m["scenario.events"],
+			m["scenario.churn_cycles"], m["drops.random_loss"])
 		if err := os.WriteFile(out, []byte(fragment), 0o644); err != nil {
 			t.Errorf("BENCH_OUT: %v", err)
 		}

@@ -93,6 +93,10 @@ type Network struct {
 	// flows is the optional fluid/hybrid traffic engine (see fluid.go);
 	// nil when every flow is packet-simulated.
 	flows *FlowSet
+	// nodeDown maps a failed node to the links its failure took down, so
+	// RecoverNode restores exactly those (and only those) that no other
+	// failed node still holds down. Nil until the first FailNode.
+	nodeDown map[NodeID][]topology.Edge
 	// root is the sequential/coordinator execution context; it aliases
 	// the fields above, so non-sharded runs behave exactly as before.
 	root *exec
@@ -315,6 +319,118 @@ func (n *Network) RestoreLink(a, b NodeID) {
 	})
 }
 
+// FailNode fails the node: every incident link that is currently up goes
+// down (with the usual detection delay at both ends). The node's protocol
+// keeps running but is isolated — a simplification documented in
+// SCENARIOS.md. FailNode on an already-failed node is a no-op. It returns
+// the number of links the failure took down.
+func (n *Network) FailNode(id NodeID) int {
+	if n.nodeDown == nil {
+		n.nodeDown = make(map[NodeID][]topology.Edge)
+	}
+	if _, dup := n.nodeDown[id]; dup {
+		return 0
+	}
+	node := n.nodes[id]
+	var took []topology.Edge
+	for _, nb := range node.neighbors {
+		if l := node.portTo(nb).link; !l.down {
+			n.FailLink(id, nb)
+			took = append(took, topology.NewEdge(id, nb))
+		}
+	}
+	n.nodeDown[id] = took
+	n.tl.Node(n.sim.Now(), obs.KindNodeDown, int(id))
+	return len(took)
+}
+
+// RecoverNode recovers a failed node: the links its failure took down come
+// back up, except links whose other endpoint is itself still failed (those
+// return when that node recovers). A no-op for nodes not failed by
+// FailNode.
+func (n *Network) RecoverNode(id NodeID) {
+	took, ok := n.nodeDown[id]
+	if !ok {
+		return
+	}
+	delete(n.nodeDown, id)
+	for _, e := range took {
+		other := e.A
+		if other == id {
+			other = e.B
+		}
+		if _, stillDown := n.nodeDown[other]; stillDown {
+			continue
+		}
+		if l := n.links[e]; l != nil && l.down {
+			n.RestoreLink(e.A, e.B)
+		}
+	}
+	n.tl.Node(n.sim.Now(), obs.KindNodeUp, int(id))
+}
+
+// lossSalt decorrelates the per-port packet-loss streams from the per-node
+// jitter and per-source traffic streams sharing the simulator seed.
+const lossSalt = 0x6c6f7373796c6e6b // "lossylnk"
+
+// SetLinkLoss sets the a-b link's random packet-loss probability: every
+// packet completing serialization in either direction is dropped with
+// probability p, control and data traffic alike. p = 0 clears the setting.
+// Each direction draws from its own per-port sim.Stream (seeded by the
+// simulator seed and the directed port identity), so loss decisions depend
+// only on that port's own transmission order — sharded runs stay
+// bit-for-bit identical to sequential ones.
+func (n *Network) SetLinkLoss(a, b NodeID, p float64) {
+	l := n.links[topology.NewEdge(a, b)]
+	if l == nil {
+		panic(fmt.Sprintf("netsim: SetLinkLoss(%d,%d): no such link", a, b))
+	}
+	for _, pt := range l.dir {
+		pt.lossP = p
+		if p > 0 && !pt.lossSeeded {
+			pt.lossSeeded = true
+			pt.lossRng = sim.NewStream(n.sim.Seed()^lossSalt,
+				uint64(uint32(pt.owner.id))<<32|uint64(uint32(pt.peer.id)))
+		}
+	}
+	n.tl.LinkLoss(n.sim.Now(), int(a), int(b), p)
+}
+
+// CostOutLink gracefully removes the a-b link from service: both ends'
+// protocols are notified immediately (maintenance is announced, so there is
+// no detection delay) while the link stays physically up — in-flight and
+// queued packets still deliver. A no-op if the link is already down or
+// costed out.
+func (n *Network) CostOutLink(a, b NodeID) {
+	l := n.links[topology.NewEdge(a, b)]
+	if l == nil {
+		panic(fmt.Sprintf("netsim: CostOutLink(%d,%d): no such link", a, b))
+	}
+	if l.down || l.detectedDown {
+		return
+	}
+	l.detectedDown = true
+	n.tl.Link(n.sim.Now(), obs.KindCostOut, int(a), int(b))
+	n.notifyLink(l, false)
+}
+
+// CostInLink returns a costed-out a-b link to service, notifying both ends'
+// protocols immediately. A no-op unless the link is up but costed out.
+// (A physical failure and repair cycle clears a cost-out: the repair's
+// detection restores the protocols' view.)
+func (n *Network) CostInLink(a, b NodeID) {
+	l := n.links[topology.NewEdge(a, b)]
+	if l == nil {
+		panic(fmt.Sprintf("netsim: CostInLink(%d,%d): no such link", a, b))
+	}
+	if l.down || !l.detectedDown {
+		return
+	}
+	l.detectedDown = false
+	n.tl.Link(n.sim.Now(), obs.KindCostIn, int(a), int(b))
+	n.notifyLink(l, true)
+}
+
 func (n *Network) notifyLink(l *Link, up bool) {
 	for _, p := range l.dir {
 		if proto := p.owner.proto; proto != nil {
@@ -378,6 +494,7 @@ var dropCounter = [numDropReasons]obs.Counter{
 	DropTTLExpired:    obs.DropTTLExpired,
 	DropQueueOverflow: obs.DropQueueOverflow,
 	DropLinkFailure:   obs.DropLinkFailure,
+	DropRandomLoss:    obs.DropRandomLoss,
 }
 
 // drop accounts a lost packet in the executing shard's context ex — the
@@ -464,6 +581,13 @@ type port struct {
 	inQ      int       // data packets in the ring
 	busy     bool
 	counters PortCounters
+	// lossP, when positive, drops each packet completing serialization
+	// with that probability (scenario lossy links, SetLinkLoss). lossRng
+	// is this direction's private stream, seeded on first use so
+	// loss-free runs never pay for it.
+	lossP      float64
+	lossRng    sim.Stream
+	lossSeeded bool
 }
 
 var _ sim.Handler = (*port)(nil)
@@ -522,6 +646,10 @@ func (p *port) HandleEvent(kind int32, data any) {
 		}
 		if p.link.down {
 			net.drop(ex, p.owner.id, pkt, DropLinkFailure)
+			return
+		}
+		if p.lossP > 0 && p.lossRng.Float64() < p.lossP {
+			net.drop(ex, p.owner.id, pkt, DropRandomLoss)
 			return
 		}
 		if peer := p.peer.exec; peer != ex {

@@ -34,6 +34,11 @@ const (
 	// DropLinkFailure: the packet was transmitted onto a failed link before
 	// the failure was detected.
 	DropLinkFailure
+	// DropRandomLoss: the packet lost a per-packet Bernoulli draw on a
+	// scenario-scripted lossy link (SetLinkLoss). Unlike the other causes
+	// it hits control traffic too — lossy links break the reliable
+	// control-channel assumption on purpose.
+	DropRandomLoss
 	// numDropReasons sizes arrays indexed by DropReason (reasons start at 1).
 	numDropReasons = iota + 1
 )
@@ -49,6 +54,8 @@ func (r DropReason) String() string {
 		return "queue-overflow"
 	case DropLinkFailure:
 		return "link-failure"
+	case DropRandomLoss:
+		return "random-loss"
 	default:
 		return fmt.Sprintf("DropReason(%d)", int(r))
 	}

@@ -49,6 +49,9 @@ const (
 	// DropLinkFailure counts data packets lost on a failed link before
 	// detection.
 	DropLinkFailure
+	// DropRandomLoss counts data packets lost to a scenario-scripted lossy
+	// link's per-packet random drop (netsim.SetLinkLoss).
+	DropRandomLoss
 	// ControlSent and ControlBytes count routing messages (and their
 	// on-wire bytes) transmitted.
 	ControlSent
@@ -104,6 +107,16 @@ const (
 	// ShardCrossMsgs counts packets that crossed a shard boundary through
 	// the barrier inbox exchange.
 	ShardCrossMsgs
+	// ScenarioEvents counts scripted scenario events executed (one per
+	// event, including the compiled legacy failure events).
+	ScenarioEvents
+	// ScenarioLinkFails counts link failures injected by scenario events
+	// (explicit, group, node-incident, flap-down, and churn failures).
+	ScenarioLinkFails
+	// ScenarioNodeFails counts node failures injected by scenario events.
+	ScenarioNodeFails
+	// ScenarioChurnCycles counts churn fail/repair cycles started.
+	ScenarioChurnCycles
 
 	numCounters
 )
@@ -118,6 +131,7 @@ var counterNames = [numCounters]string{
 	DropTTLExpired:       "drops.ttl_expired",
 	DropQueueOverflow:    "drops.queue_overflow",
 	DropLinkFailure:      "drops.link_failure",
+	DropRandomLoss:       "drops.random_loss",
 	ControlSent:          "control.sent",
 	ControlBytes:         "control.bytes",
 	ControlReceived:      "control.received",
@@ -140,6 +154,10 @@ var counterNames = [numCounters]string{
 	FluidDroppedBytes:    "fluid.dropped_bytes",
 	ShardBarrierWaits:    "shard.barrier_waits",
 	ShardCrossMsgs:       "shard.cross_msgs",
+	ScenarioEvents:       "scenario.events",
+	ScenarioLinkFails:    "scenario.link_fails",
+	ScenarioNodeFails:    "scenario.node_fails",
+	ScenarioChurnCycles:  "scenario.churn_cycles",
 }
 
 // Name returns the counter's dotted metric name.

@@ -49,6 +49,23 @@ const (
 	// fluid once the guard window expires.
 	KindFluidDemote
 	KindFluidAbsorb
+	// KindNodeDown and KindNodeUp mark a scenario-scripted node failure
+	// and recovery of Node (its incident link events are logged
+	// separately as link_down/link_up records).
+	KindNodeDown
+	KindNodeUp
+	// KindLinkLoss records the Node–Peer link's random packet-loss
+	// probability being set to Rate (0 clears it).
+	KindLinkLoss
+	// KindCostOut and KindCostIn mark the graceful maintenance events on
+	// the Node–Peer link: protocols are notified immediately while the
+	// link keeps carrying packets.
+	KindCostOut
+	KindCostIn
+	// KindChurnStart and KindChurnEnd bracket a scripted churn window;
+	// the start record carries the failure arrival Rate.
+	KindChurnStart
+	KindChurnEnd
 
 	numKinds
 )
@@ -69,6 +86,13 @@ var kindNames = [numKinds]string{
 	KindConvergenceComplete: "convergence_complete",
 	KindFluidDemote:         "fluid_demote",
 	KindFluidAbsorb:         "fluid_absorb",
+	KindNodeDown:            "node_down",
+	KindNodeUp:              "node_up",
+	KindLinkLoss:            "link_loss",
+	KindCostOut:             "cost_out",
+	KindCostIn:              "cost_in",
+	KindChurnStart:          "churn_start",
+	KindChurnEnd:            "churn_end",
 }
 
 // String returns the record type's NDJSON `event` value.
@@ -84,6 +108,9 @@ type Record struct {
 	Peer int
 	Dst  int
 	Seed int64
+	// Rate is set only on KindLinkLoss (the loss probability) and
+	// KindChurnStart (failures per second).
+	Rate float64
 }
 
 // Timeline is one trial's append-only convergence event log. Recording
@@ -143,6 +170,23 @@ func (t *Timeline) RouteFlap(at time.Duration, kind Kind, node, neighbor, dst in
 // re-absorbing (KindFluidAbsorb) the node→dst flow class.
 func (t *Timeline) FluidFlow(at time.Duration, kind Kind, node, dst int) {
 	t.add(Record{At: at, Kind: kind, Node: node, Peer: -1, Dst: dst})
+}
+
+// Node records a scenario node event: node down (KindNodeDown) or back up
+// (KindNodeUp).
+func (t *Timeline) Node(at time.Duration, kind Kind, node int) {
+	t.add(Record{At: at, Kind: kind, Node: node, Peer: -1, Dst: -1})
+}
+
+// LinkLoss records the a–b link's random loss probability being set to p.
+func (t *Timeline) LinkLoss(at time.Duration, a, b int, p float64) {
+	t.add(Record{At: at, Kind: KindLinkLoss, Node: a, Peer: b, Dst: -1, Rate: p})
+}
+
+// Churn records a scripted churn window opening (KindChurnStart, with the
+// failure arrival rate) or closing (KindChurnEnd).
+func (t *Timeline) Churn(at time.Duration, kind Kind, rate float64) {
+	t.add(Record{At: at, Kind: kind, Node: -1, Peer: -1, Dst: -1, Rate: rate})
 }
 
 // Len returns the number of records logged so far.
@@ -263,7 +307,7 @@ func (t *Timeline) WriteNDJSON(w io.Writer) error {
 		case KindTrialStart:
 			_, err = fmt.Fprintf(bw, `{"t_ns":%d,"event":%q,"seed":%d}`+"\n",
 				r.At.Nanoseconds(), kindNames[r.Kind], r.Seed)
-		case KindLinkDown, KindLinkUp, KindLinkDownDetected, KindLinkUpDetected:
+		case KindLinkDown, KindLinkUp, KindLinkDownDetected, KindLinkUpDetected, KindCostOut, KindCostIn:
 			_, err = fmt.Fprintf(bw, `{"t_ns":%d,"event":%q,"node":%d,"peer":%d}`+"\n",
 				r.At.Nanoseconds(), kindNames[r.Kind], r.Node, r.Peer)
 		case KindFIBChange:
@@ -291,6 +335,18 @@ func (t *Timeline) WriteNDJSON(w io.Writer) error {
 		case KindFluidDemote, KindFluidAbsorb:
 			_, err = fmt.Fprintf(bw, `{"t_ns":%d,"event":%q,"node":%d,"dst":%d}`+"\n",
 				r.At.Nanoseconds(), kindNames[r.Kind], r.Node, r.Dst)
+		case KindNodeDown, KindNodeUp:
+			_, err = fmt.Fprintf(bw, `{"t_ns":%d,"event":%q,"node":%d}`+"\n",
+				r.At.Nanoseconds(), kindNames[r.Kind], r.Node)
+		case KindLinkLoss:
+			_, err = fmt.Fprintf(bw, `{"t_ns":%d,"event":%q,"node":%d,"peer":%d,"rate":%g}`+"\n",
+				r.At.Nanoseconds(), kindNames[r.Kind], r.Node, r.Peer, r.Rate)
+		case KindChurnStart:
+			_, err = fmt.Fprintf(bw, `{"t_ns":%d,"event":%q,"rate":%g}`+"\n",
+				r.At.Nanoseconds(), kindNames[r.Kind], r.Rate)
+		case KindChurnEnd:
+			_, err = fmt.Fprintf(bw, `{"t_ns":%d,"event":%q}`+"\n",
+				r.At.Nanoseconds(), kindNames[r.Kind])
 		default:
 			_, err = fmt.Fprintf(bw, `{"t_ns":%d,"event":%q,"node":%d,"peer":%d,"dst":%d}`+"\n",
 				r.At.Nanoseconds(), kindNames[r.Kind], r.Node, r.Peer, r.Dst)

@@ -67,6 +67,11 @@ type FailureMode struct {
 	ExtraFailAts []Duration `json:"extra_fail_ats,omitempty"`
 	// FastReroute precomputes loop-free-alternate protection.
 	FastReroute bool `json:"fast_reroute,omitempty"`
+	// Scenario, when non-empty, is a scenario script in the text grammar
+	// (SCENARIOS.md) replacing the default failure schedule. Mutually
+	// exclusive with the legacy RestoreAfter/Flaps/ExtraFailAts knobs
+	// (cell validation rejects the combination).
+	Scenario string `json:"scenario,omitempty"`
 }
 
 // SingleFailure is the paper's failure model: one permanent on-path link
@@ -82,6 +87,8 @@ func (f FailureMode) apply(cfg *core.Config) {
 	for _, at := range f.ExtraFailAts {
 		cfg.ExtraFailAts = append(cfg.ExtraFailAts, time.Duration(at))
 	}
+	cfg.Scenario = f.Scenario
+	cfg.Script = nil
 }
 
 // Spec declares a sweep: the full grid is Protocols × (Degrees ∪ Topos) ×
@@ -118,6 +125,11 @@ type Spec struct {
 	// Failures lists the failure models; empty means the paper's single
 	// permanent failure.
 	Failures []FailureMode `json:"failures,omitempty"`
+	// Scenarios lists scenario scripts (text grammar, SCENARIOS.md) swept
+	// as additional failure modes alongside Failures: script i becomes a
+	// mode named "scn<i>". Scenario becomes a grid axis next to protocol
+	// and degree, as ROADMAP item 5 asks.
+	Scenarios []string `json:"scenarios,omitempty"`
 	// End shortens or extends the simulation horizon (default: the
 	// paper's 800 s).
 	End Duration `json:"end,omitempty"`
@@ -222,6 +234,9 @@ func (s *Spec) Expand() ([]Cell, error) {
 		return nil, fmt.Errorf("sweep: spec lists no degrees and no topos")
 	}
 	failures := s.Failures
+	for i, script := range s.Scenarios {
+		failures = append(failures, FailureMode{Name: fmt.Sprintf("scn%d", i), Scenario: script})
+	}
 	if len(failures) == 0 {
 		failures = []FailureMode{SingleFailure()}
 	}

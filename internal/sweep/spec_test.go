@@ -183,8 +183,10 @@ func TestCellKeysGolden(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Updated when core.Config gained the Topo spec field (PR 6).
-	const want = "5a611121ba2a2b1465a86443ce146c5483c0ceba0d3687f3c800958aa760beb0"
+	// Updated when core.Config gained the Topo spec field (PR 6), the
+	// Mode/GuardWindow fields (PR 7), and the Scenario/Script fields
+	// (PR 10).
+	const want = "bb38c8ede01cf6df55d6e699e6b3b971ddf291b269ed16aa3adc0ad7db294ec4"
 	if key != want {
 		t.Errorf("golden dbf key changed:\n got %s\nwant %s\n(an intentional Config or encoding change must update this golden)", key, want)
 	}
@@ -193,7 +195,7 @@ func TestCellKeysGolden(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	const wantRIP = "91d43615a0b0b915ac1081e6c8f9585225eab63022eb8f6dadf5df82b5455927"
+	const wantRIP = "0a23475eb6f2f997ba87242e1c0661517aa50ba2d8661f75fe21a6c0cd693975"
 	if key2 != wantRIP {
 		t.Errorf("golden rip key changed:\n got %s\nwant %s", key2, wantRIP)
 	}

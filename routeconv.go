@@ -37,6 +37,7 @@ import (
 	"routeconv/internal/routing"
 	"routeconv/internal/routing/bgp"
 	"routeconv/internal/routing/ls"
+	"routeconv/internal/scenario"
 	"routeconv/internal/stats"
 	"routeconv/internal/topology"
 )
@@ -238,6 +239,33 @@ func RunSweep(sc SweepConfig, progress func(string)) (*SweepResult, error) {
 // DefaultSweep returns the paper's full evaluation grid (all four
 // protocols, degrees 3–16) at the given trial count per cell.
 func DefaultSweep(trials int) SweepConfig { return core.DefaultSweep(trials) }
+
+// ScenarioScript is a parsed disturbance script: a time-ordered list of
+// failure, repair, flap, loss, cost-out and churn events replacing the
+// default single-link failure schedule. Set it on Config.Script, or set the
+// text form on Config.Scenario. Grammar and exact per-event semantics:
+// SCENARIOS.md.
+type ScenarioScript = scenario.Script
+
+// ScenarioBuilder composes a ScenarioScript programmatically; see
+// NewScenario.
+type ScenarioBuilder = scenario.Builder
+
+// ScenarioEvent is one timed disturbance in a ScenarioScript.
+type ScenarioEvent = scenario.Event
+
+// NewScenario returns an empty scenario builder. Chain event methods and
+// call Script() to get the time-sorted script:
+//
+//	s := routeconv.NewScenario().
+//		FailLink(400*time.Second, routeconv.Edge{A: 3, B: 7}).
+//		Loss(410*time.Second, routeconv.Edge{A: 1, B: 2}, 0.01).
+//		Script()
+func NewScenario() *ScenarioBuilder { return scenario.NewBuilder() }
+
+// ParseScenario parses the compact text grammar, e.g.
+// "fail link 3-7 @400s; loss link 1-2 p=0.01 @410s". See SCENARIOS.md.
+func ParseScenario(text string) (*ScenarioScript, error) { return scenario.Parse(text) }
 
 // MetricsSnapshot is a flat metric-name → value map of the observability
 // counters one trial accumulated (set Config.Metrics to collect it; see
