@@ -1,0 +1,36 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"routeconv/internal/scenario"
+)
+
+// Overlapping adjacent node failures: fail A, fail B (A-B already down so
+// not in B's took), recover A (skipped: B still down), recover B (not in
+// B's took). Expectation: after both recoveries every link is back up.
+func TestReviewOverlappingNodeRecovery(t *testing.T) {
+	cfg := goldenConfig(ProtoRIP)
+	cfg.Metrics = true
+	// Nodes 24 and 25 are adjacent in the 7x7 degree-4 mesh (row-major).
+	cfg.Script = scenario.NewBuilder().
+		FailNode(400*time.Second, 24).
+		FailNode(405*time.Second, 25).
+		RecoverNode(410*time.Second, 24).
+		RecoverNode(415*time.Second, 25).
+		Script()
+	_, tr, err := TraceObserved(cfg, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = tr
+	net := tr.net
+	l := net.Link(24, 25)
+	if l == nil {
+		t.Skip("24-25 not adjacent in this mesh")
+	}
+	if !l.Up() {
+		t.Errorf("link 24-25 still down after both endpoints recovered")
+	}
+}
